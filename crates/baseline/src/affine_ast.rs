@@ -1,0 +1,245 @@
+//! Symbolic affine forms over loop-iterator variables.
+//!
+//! The static baseline models an index expression as
+//! `c0 + c1*iv1 + c2*iv2 + ...` where each `iv` is a *canonical* loop
+//! iterator in scope. Anything outside this langage — products of
+//! iterators, data-dependent variables, pointer chases — evaluates to
+//! `None`, which is precisely what makes the paper's "existing static
+//! approaches" blind to so much real code.
+
+use minic::{BinOp, Expr, UnOp};
+use std::collections::HashMap;
+
+/// An affine form: constant plus integer-weighted iterator terms
+/// (keyed by iterator variable name).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffForm {
+    /// Constant term.
+    pub konst: i64,
+    /// Iterator coefficients (no zero entries).
+    pub terms: HashMap<String, i64>,
+}
+
+impl AffForm {
+    /// A pure constant.
+    pub fn constant(v: i64) -> AffForm {
+        AffForm { konst: v, terms: HashMap::new() }
+    }
+
+    /// A bare iterator.
+    pub fn iterator(name: &str) -> AffForm {
+        AffForm { konst: 0, terms: [(name.to_owned(), 1)].into_iter().collect() }
+    }
+
+    /// Whether the form has no iterator terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether the form uses at least one iterator.
+    pub fn has_iterator(&self) -> bool {
+        !self.terms.is_empty()
+    }
+
+    fn add_scaled(&mut self, other: &AffForm, scale: i64) {
+        self.konst += scale * other.konst;
+        for (k, v) in &other.terms {
+            let e = self.terms.entry(k.clone()).or_insert(0);
+            *e += scale * v;
+        }
+        self.terms.retain(|_, v| *v != 0);
+    }
+}
+
+/// The set of iterator names currently in scope (innermost scopes pushed
+/// last; shadowing removes outer iterators of the same name).
+#[derive(Debug, Clone, Default)]
+pub struct IterEnv {
+    stack: Vec<String>,
+}
+
+impl IterEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        IterEnv::default()
+    }
+
+    /// Enters a loop with iterator `name`.
+    pub fn push(&mut self, name: &str) {
+        self.stack.push(name.to_owned());
+    }
+
+    /// Leaves the innermost loop.
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Whether `name` is an in-scope iterator.
+    pub fn contains(&self, name: &str) -> bool {
+        self.stack.iter().any(|s| s == name)
+    }
+
+    /// Number of enclosing canonical loops.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Evaluates an expression to an affine form over the in-scope iterators,
+/// if it lies in the affine language.
+///
+/// # Examples
+///
+/// ```
+/// use foray_baseline::affine_ast::{eval_affine, AffForm, IterEnv};
+///
+/// # fn main() -> Result<(), minic::Error> {
+/// let prog = minic::parse("int a[64]; void main() { int i; a[2*i + 3] = 0; }")?;
+/// let mut env = IterEnv::new();
+/// env.push("i");
+/// // Dig out the index expression of `a[...]`.
+/// let minic::Stmt::Assign { target: minic::Expr::Index { index, .. }, .. } =
+///     &prog.functions[0].body.stmts[1]
+/// else { unreachable!() };
+/// let form = eval_affine(index, &env).expect("affine");
+/// assert_eq!(form.konst, 3);
+/// assert_eq!(form.terms["i"], 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eval_affine(expr: &Expr, env: &IterEnv) -> Option<AffForm> {
+    match expr {
+        Expr::IntLit(v) => Some(AffForm::constant(*v)),
+        Expr::Var { name, .. } => {
+            if env.contains(name) {
+                Some(AffForm::iterator(name))
+            } else {
+                None
+            }
+        }
+        Expr::Unary { op: UnOp::Neg, expr } => {
+            let inner = eval_affine(expr, env)?;
+            let mut out = AffForm::constant(0);
+            out.add_scaled(&inner, -1);
+            Some(out)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_affine(lhs, env)?;
+            let r = eval_affine(rhs, env)?;
+            match op {
+                BinOp::Add => {
+                    let mut out = l;
+                    out.add_scaled(&r, 1);
+                    Some(out)
+                }
+                BinOp::Sub => {
+                    let mut out = l;
+                    out.add_scaled(&r, -1);
+                    Some(out)
+                }
+                BinOp::Mul => {
+                    // One side must be constant.
+                    if l.is_constant() {
+                        let mut out = AffForm::constant(0);
+                        out.add_scaled(&r, l.konst);
+                        Some(out)
+                    } else if r.is_constant() {
+                        let mut out = AffForm::constant(0);
+                        out.add_scaled(&l, r.konst);
+                        Some(out)
+                    } else {
+                        None
+                    }
+                }
+                // Division/remainder/shifts of constants fold; with
+                // iterators they leave the affine language.
+                BinOp::Div if l.is_constant() && r.is_constant() && r.konst != 0 => {
+                    Some(AffForm::constant(l.konst / r.konst))
+                }
+                BinOp::Rem if l.is_constant() && r.is_constant() && r.konst != 0 => {
+                    Some(AffForm::constant(l.konst % r.konst))
+                }
+                BinOp::Shl if l.is_constant() && r.is_constant() => {
+                    Some(AffForm::constant(l.konst.wrapping_shl((r.konst & 63) as u32)))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(src: &str) -> Expr {
+        let prog = minic::parse(src).unwrap();
+        let mut found = None;
+        prog.visit_exprs(&mut |e| {
+            if let Expr::Index { index, .. } = e {
+                if found.is_none() {
+                    found = Some((**index).clone());
+                }
+            }
+        });
+        found.expect("index expression")
+    }
+
+    fn env(names: &[&str]) -> IterEnv {
+        let mut e = IterEnv::new();
+        for n in names {
+            e.push(n);
+        }
+        e
+    }
+
+    #[test]
+    fn recognizes_affine_combinations() {
+        let e = index_of("int a[64]; void main() { int i; int j; a[4*i + 64*j + 7] = 0; }");
+        let form = eval_affine(&e, &env(&["i", "j"])).unwrap();
+        assert_eq!(form.konst, 7);
+        assert_eq!(form.terms["i"], 4);
+        assert_eq!(form.terms["j"], 64);
+    }
+
+    #[test]
+    fn folds_constant_subexpressions() {
+        let e = index_of("int a[64]; void main() { int i; a[i * (3 * 4) + 10 / 2] = 0; }");
+        let form = eval_affine(&e, &env(&["i"])).unwrap();
+        assert_eq!(form.terms["i"], 12);
+        assert_eq!(form.konst, 5);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let e = index_of("int a[64]; void main() { int i; a[i - i + 2] = 0; }");
+        let form = eval_affine(&e, &env(&["i"])).unwrap();
+        assert!(form.is_constant());
+        assert_eq!(form.konst, 2);
+    }
+
+    #[test]
+    fn rejects_nonlinear_and_unknown() {
+        let quad = index_of("int a[64]; void main() { int i; a[i * i] = 0; }");
+        assert!(eval_affine(&quad, &env(&["i"])).is_none());
+        let unknown = index_of("int a[64]; int x; void main() { int i; a[i + x] = 0; }");
+        assert!(eval_affine(&unknown, &env(&["i"])).is_none());
+        let not_in_scope = index_of("int a[64]; void main() { int i; a[i] = 0; }");
+        assert!(eval_affine(&not_in_scope, &env(&[])).is_none());
+    }
+
+    #[test]
+    fn negation() {
+        let e = index_of("int a[64]; void main() { int i; a[-i + 63] = 0; }");
+        let form = eval_affine(&e, &env(&["i"])).unwrap();
+        assert_eq!(form.terms["i"], -1);
+        assert_eq!(form.konst, 63);
+    }
+
+    #[test]
+    fn division_by_iterator_rejected() {
+        let e = index_of("int a[64]; void main() { int i; a[64 / (i + 1)] = 0; }");
+        assert!(eval_affine(&e, &env(&["i"])).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! # foray-baseline — the static FORAY-form detector
+//!
+//! The FORAY-GEN paper measures its benefit against "existing static
+//! approaches" (its refs \[5\]\[6\]\[7\]): scratch-pad-memory optimizers whose
+//! compile-time analysis only sees **array references with affine index
+//! expressions inside canonical `for` loops**. This crate implements that
+//! static scope over `minic` ASTs, providing the denominator for Table II
+//! and for the paper's headline "two times increase in the number of
+//! analyzable memory references".
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), minic::Error> {
+//! let mut prog = minic::parse(
+//!     "int a[64]; char q[100]; char *p;
+//!      void main() {
+//!          int i; int n;
+//!          for (i = 0; i < 64; i++) { a[i] = i; }   // visible statically
+//!          n = 0; p = q;
+//!          while (n < 100) { *p++ = n; n++; }        // invisible statically
+//!      }")?;
+//! minic::check(&mut prog)?;
+//! let result = foray_baseline::analyze_program(&prog);
+//! assert_eq!(result.canonical_loops.len(), 1);
+//! assert_eq!(result.total_loops, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affine_ast;
+pub mod detect;
+
+pub use affine_ast::{eval_affine, AffForm, IterEnv};
+pub use detect::{analyze_program, StaticAnalysis};

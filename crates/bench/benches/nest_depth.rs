@@ -1,0 +1,66 @@
+//! Per-access analysis cost vs loop nest depth.
+//!
+//! The paper argues the per-record cost of Algorithms 2/3 is "constant on
+//! average" because "the maximum loop nest level is limited in real
+//! programs". Each added nest level grows the iterator vector Algorithm 3
+//! touches, so cost should grow gently (linearly in depth), not blow up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minic::CheckpointKind::{BodyBegin, BodyEnd, LoopBegin};
+use minic_trace::{AccessKind, Record};
+use std::hint::black_box;
+
+/// Perfect nest of `depth` loops with ~4096 innermost iterations total.
+fn nest_trace(depth: u32) -> Vec<Record> {
+    // Choose per-level trips so the product stays near 4096.
+    let trip: u64 = match depth {
+        1 => 4096,
+        2 => 64,
+        3 => 16,
+        4 => 8,
+        6 => 4,
+        _ => 4,
+    };
+    let mut t = Vec::new();
+    fn rec(level: u32, depth: u32, trip: u64, iters: &mut Vec<i64>, out: &mut Vec<Record>) {
+        out.push(Record::checkpoint(level, LoopBegin));
+        for it in 0..trip {
+            out.push(Record::checkpoint(level, BodyBegin));
+            iters[(depth - 1 - level) as usize] = it as i64;
+            if level + 1 == depth {
+                let mut addr = 0x1000_0000i64;
+                for (k, v) in iters.iter().enumerate() {
+                    addr += (4 << k) * v;
+                }
+                out.push(Record::access(0x40_0000, addr as u32, AccessKind::Read));
+            } else {
+                rec(level + 1, depth, trip, iters, out);
+            }
+            out.push(Record::checkpoint(level, BodyEnd));
+        }
+    }
+    let mut iters = vec![0i64; depth as usize];
+    rec(0, depth, trip, &mut iters, &mut t);
+    t
+}
+
+fn bench_nest_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nest_depth");
+    group.sample_size(20);
+    for depth in [1u32, 2, 3, 4, 6] {
+        let trace = nest_trace(depth);
+        let accesses =
+            trace.iter().filter(|r| matches!(r, Record::Access(_))).count() as u64;
+        group.throughput(Throughput::Elements(accesses));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &trace, |b, t| {
+            b.iter(|| {
+                let analysis = foray::analyze(black_box(t));
+                black_box(analysis.refs().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nest_depth);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Phase II design-space exploration cost: exact multiple-choice knapsack
+//! vs the greedy heuristic, on real workload models and on synthetic
+//! candidate sets of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foray_spm::{enumerate, select_exact, select_greedy, BufferCandidate, EnergyModel};
+use foray_workloads::{by_name, Params};
+use std::hint::black_box;
+
+fn synth_candidates(n: usize) -> Vec<BufferCandidate> {
+    (0..n)
+        .map(|i| BufferCandidate {
+            ref_idx: i / 2, // two levels per reference
+            array: format!("A{i}"),
+            level: (i % 2 + 1) as u32,
+            size_bytes: 32 + ((i * 97) % 900) as u32,
+            spm_accesses: 1_000 + ((i * 7919) % 100_000) as u64,
+            fill_elems: 50 + ((i * 13) % 500) as u64,
+            writeback_elems: if i % 3 == 0 { 100 } else { 0 },
+            activations: 1,
+            elem_bytes: 4,
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let energy = EnergyModel::default();
+    let mut group = c.benchmark_group("spm_selection");
+    group.sample_size(20);
+    for n in [8usize, 64, 256] {
+        let cands = synth_candidates(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &cands, |b, cands| {
+            b.iter(|| black_box(select_exact(black_box(cands), &energy, 8 * 1024)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &cands, |b, cands| {
+            b.iter(|| black_box(select_greedy(black_box(cands), &energy, 8 * 1024)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_dse(c: &mut Criterion) {
+    // Full Phase II on the jpeg-style model: enumerate + sweep.
+    let w = by_name("jpegc", Params::default()).expect("jpegc exists");
+    let model = w.run().expect("jpegc runs").model;
+    let energy = EnergyModel::default();
+    let mut group = c.benchmark_group("spm_phase2");
+    group.sample_size(10);
+    group.bench_function("enumerate_jpegc", |b| {
+        b.iter(|| black_box(enumerate(black_box(&model))));
+    });
+    let cands = enumerate(&model);
+    group.bench_function("sweep_jpegc_7_capacities", |b| {
+        b.iter(|| {
+            black_box(foray_spm::sweep(
+                black_box(&cands),
+                &energy,
+                &[256, 512, 1024, 2048, 4096, 8192, 16384],
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_workload_dse);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Analyzer throughput and the paper's linearity claim.
+//!
+//! Section 4: "The computational complexity of our approach ... is linear
+//! with respect to the number of profiled instructions." Processing time
+//! per record should therefore be flat across trace lengths; Criterion's
+//! `Throughput::Elements` view makes that directly visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minic::CheckpointKind::{BodyBegin, BodyEnd, LoopBegin};
+use minic_trace::{AccessKind, Record};
+use std::hint::black_box;
+
+/// Two-level affine nest trace with `outer × 64` accesses.
+fn synth_trace(outer: u32) -> Vec<Record> {
+    let mut t = Vec::with_capacity((outer as usize) * 64 * 3 + 8);
+    t.push(Record::checkpoint(0, LoopBegin));
+    for j in 0..outer {
+        t.push(Record::checkpoint(0, BodyBegin));
+        t.push(Record::checkpoint(1, LoopBegin));
+        for i in 0..64u32 {
+            t.push(Record::checkpoint(1, BodyBegin));
+            t.push(Record::access(0x40_0000, 0x1000_0000 + 4 * i + 256 * j, AccessKind::Read));
+            t.push(Record::checkpoint(1, BodyEnd));
+        }
+        t.push(Record::checkpoint(0, BodyEnd));
+    }
+    t
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_throughput");
+    group.sample_size(20);
+    for outer in [64u32, 256, 1024] {
+        let trace = synth_trace(outer);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(trace.len()), &trace, |b, t| {
+            b.iter(|| {
+                let analysis = foray::analyze(black_box(t));
+                black_box(analysis.refs().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_footprint_toggle(c: &mut Criterion) {
+    // Footprint tracking is the analyzer's main per-access overhead;
+    // measure both modes.
+    let trace = synth_trace(512);
+    let mut group = c.benchmark_group("footprint_tracking");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, track) in [("tracked", true), ("untracked", false)] {
+        group.bench_function(name, |b| {
+            let config = foray::AnalyzerConfig {
+                track_footprint: track,
+                ..foray::AnalyzerConfig::default()
+            };
+            b.iter(|| {
+                let analysis = foray::analyze_with(black_box(&trace), config.clone());
+                black_box(analysis.accesses())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_footprint_toggle);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! End-to-end FORAY-GEN cost per workload: frontend + profiling +
+//! online analysis + model extraction + code emission (the full
+//! Algorithm 1), one measurement per benchmark of the suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use foray_workloads::{all, Params};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("foray_gen_end_to_end");
+    group.sample_size(10);
+    for w in all(Params::default()) {
+        // Pre-measure the access count so throughput is records/second.
+        let accesses = w.run().expect("workload runs").sim.accesses;
+        group.throughput(Throughput::Elements(accesses));
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| {
+                let out = w.run().expect("workload runs");
+                black_box(out.model.ref_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend_only(c: &mut Criterion) {
+    // Isolates parsing/checking/instrumentation from simulation.
+    let mut group = c.benchmark_group("frontend_only");
+    group.sample_size(30);
+    for w in all(Params::default()) {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| black_box(w.frontend().expect("compiles")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_frontend_only);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates **Table I** of the paper: benchmark complexity and loop
+//! distribution (lines of code, executed loops, for/while/do split).
+//!
+//! ```text
+//! cargo run -p foray-bench --bin table1 [scale]
+//! ```
+
+use foray::LoopBreakdown;
+use foray_bench::{render_table, run_suite};
+use foray_workloads::Params;
+
+fn main() {
+    let scale: u32 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let runs = run_suite(Params { scale });
+
+    let mut rows = Vec::new();
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for run in &runs {
+        let t = run.table1();
+        rows.push(vec![
+            run.workload.name.to_string(),
+            t.lines.to_string(),
+            t.total_loops.to_string(),
+            format!("{:.0}%", LoopBreakdown::pct(t.for_loops, t.total_loops)),
+            format!("{:.0}%", LoopBreakdown::pct(t.while_loops, t.total_loops)),
+            format!("{:.0}%", LoopBreakdown::pct(t.do_loops, t.total_loops)),
+        ]);
+        totals.0 += t.total_loops;
+        totals.1 += t.for_loops;
+        totals.2 += t.while_loops;
+        totals.3 += t.do_loops;
+    }
+    println!("Table I. Benchmark complexity and loop distribution (scale {scale})\n");
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "lines", "loops", "for", "while", "do"],
+            &rows
+        )
+    );
+    let non_for = totals.2 + totals.3;
+    println!(
+        "non-for loops overall: {:.0}% (paper reports 23% on average)",
+        LoopBreakdown::pct(non_for, totals.0)
+    );
+}

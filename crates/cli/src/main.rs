@@ -1,0 +1,406 @@
+//! `foray-gen` — command-line front door to the FORAY-GEN reproduction.
+//!
+//! ```text
+//! foray-gen model <prog.mc> [--nexec N] [--nloc N] [--inputs v,v,...] [--executable]
+//!     extract and print the FORAY model (Phase I); --executable emits it
+//!     as a runnable mini-C program (re-profiling it is a fixpoint)
+//! foray-gen report <prog.mc> [...]
+//!     model + static comparison + memory-behaviour breakdown + hints
+//! foray-gen trace <prog.mc> [--format text|binary] [-o FILE]
+//!     profile and dump the raw trace (Fig. 4(c) format)
+//! foray-gen annotate <prog.mc>
+//!     print the checkpoint-instrumented source (Fig. 4(b))
+//! foray-gen spm <prog.mc> [--capacity BYTES]
+//!     Phase II: buffer candidates, selection, transformed model
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime error.
+
+use foray::{FilterConfig, ForayGen};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{USAGE}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Compile(msg)) => {
+            eprintln!("compile error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("runtime error: {msg}");
+            ExitCode::from(3)
+        }
+        Err(CliError::Io(e)) => {
+            eprintln!("i/o error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  foray-gen model    <prog.mc> [--nexec N] [--nloc N] [--inputs v,v,..] [--executable]
+  foray-gen report   <prog.mc> [--nexec N] [--nloc N] [--inputs v,v,..]
+  foray-gen trace    <prog.mc> [--format text|binary] [-o FILE] [--inputs v,v,..]
+  foray-gen annotate <prog.mc>
+  foray-gen spm      <prog.mc> [--capacity BYTES] [--nexec N] [--nloc N] [--inputs v,v,..]";
+
+enum CliError {
+    Usage(String),
+    Compile(String),
+    Runtime(String),
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<foray::PipelineError> for CliError {
+    fn from(e: foray::PipelineError) -> Self {
+        match e {
+            foray::PipelineError::Frontend(e) => CliError::Compile(e.to_string()),
+            foray::PipelineError::Runtime(e) => CliError::Runtime(e.to_string()),
+        }
+    }
+}
+
+struct Options {
+    file: String,
+    n_exec: u64,
+    n_loc: u64,
+    inputs: Vec<i64>,
+    format: String,
+    output: Option<String>,
+    capacity: u32,
+    executable: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options {
+        file: String::new(),
+        n_exec: 20,
+        n_loc: 10,
+        inputs: Vec::new(),
+        format: "text".to_owned(),
+        output: None,
+        capacity: 4096,
+        executable: false,
+    };
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nexec" => opts.n_exec = parse_num(&need(&mut it, "--nexec")?)?,
+            "--nloc" => opts.n_loc = parse_num(&need(&mut it, "--nloc")?)?,
+            "--capacity" => opts.capacity = parse_num(&need(&mut it, "--capacity")?)? as u32,
+            "--executable" => opts.executable = true,
+            "--format" => opts.format = need(&mut it, "--format")?,
+            "-o" | "--output" => opts.output = Some(need(&mut it, "-o")?),
+            "--inputs" => {
+                let list = need(&mut it, "--inputs")?;
+                opts.inputs = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim().parse().map_err(|_| {
+                            CliError::Usage(format!("bad input value `{s}`"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag `{other}`")));
+            }
+            file => {
+                if opts.file.is_empty() {
+                    opts.file = file.to_owned();
+                } else {
+                    return Err(CliError::Usage(format!("unexpected argument `{file}`")));
+                }
+            }
+        }
+    }
+    if opts.file.is_empty() {
+        return Err(CliError::Usage("missing program file".to_owned()));
+    }
+    Ok(opts)
+}
+
+fn parse_num(s: &str) -> Result<u64, CliError> {
+    s.parse().map_err(|_| CliError::Usage(format!("bad number `{s}`")))
+}
+
+fn read_source(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))
+}
+
+fn pipeline(opts: &Options) -> ForayGen {
+    ForayGen::new()
+        .filter(FilterConfig { n_exec: opts.n_exec, n_loc: opts.n_loc })
+        .inputs(opts.inputs.clone())
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage("missing command".to_owned()));
+    };
+    let opts = parse_options(&args[1..])?;
+    let src = read_source(&opts.file)?;
+    match cmd.as_str() {
+        "model" => cmd_model(&src, &opts),
+        "report" => cmd_report(&src, &opts),
+        "trace" => cmd_trace(&src, &opts),
+        "annotate" => cmd_annotate(&src),
+        "spm" => cmd_spm(&src, &opts),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn cmd_model(src: &str, opts: &Options) -> Result<(), CliError> {
+    let out = pipeline(opts).run_source(src)?;
+    if opts.executable {
+        print!("{}", foray::codegen::emit_minic(&out.model));
+    } else {
+        print!("{}", out.code);
+    }
+    Ok(())
+}
+
+fn cmd_annotate(src: &str) -> Result<(), CliError> {
+    let prog = minic::frontend(src)
+        .map_err(|e| CliError::Compile(e.to_string()))?;
+    print!("{}", minic::pretty(&prog));
+    Ok(())
+}
+
+fn cmd_trace(src: &str, opts: &Options) -> Result<(), CliError> {
+    let prog = minic::frontend(src)
+        .map_err(|e| CliError::Compile(e.to_string()))?;
+    let (_, records) =
+        minic_sim::run(&prog, &minic_sim::SimConfig::default(), &opts.inputs)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let bytes = match opts.format.as_str() {
+        "text" => minic_trace::text::to_text(&records).into_bytes(),
+        "binary" => minic_trace::binary::to_bytes(&records),
+        other => return Err(CliError::Usage(format!("unknown trace format `{other}`"))),
+    };
+    match &opts.output {
+        Some(path) => std::fs::write(path, bytes)?,
+        None => std::io::stdout().write_all(&bytes)?,
+    }
+    Ok(())
+}
+
+fn cmd_report(src: &str, opts: &Options) -> Result<(), CliError> {
+    let out = pipeline(opts).run_source(src)?;
+    let mut prog = minic::parse(src).map_err(|e| CliError::Compile(e.to_string()))?;
+    minic::check(&mut prog).map_err(|e| CliError::Compile(e.to_string()))?;
+    let st = foray_baseline::analyze_program(&prog);
+    let loops: std::collections::HashSet<minic::LoopId> =
+        st.canonical_loops.iter().copied().collect();
+    let cmp = foray::CaptureComparison::compute(&out.model, &loops, &st.affine_instrs());
+    let mem = foray::MemoryBehavior::compute(&out.analysis, &out.model);
+
+    println!("== FORAY model ==");
+    print!("{}", out.code);
+    println!();
+    println!("== reconstructed loop tree (Algorithm 2) ==");
+    print!("{}", out.analysis.tree().render());
+    println!();
+    println!("== capture ==");
+    println!(
+        "model: {} loops, {} references; statically visible: {} loops, {} references",
+        cmp.model_loops, cmp.model_refs, cmp.static_loops, cmp.static_refs
+    );
+    println!(
+        "not in FORAY form in the source: {:.0}% of loops, {:.0}% of references",
+        cmp.pct_loops_not_static(),
+        cmp.pct_refs_not_static()
+    );
+    if let Some(g) = cmp.gain() {
+        println!("analyzable-reference gain over static analysis: {g:.1}x");
+    }
+    println!();
+    println!("== memory behaviour ==");
+    println!(
+        "accesses: {} total, {} in model ({:.0}%), {} in system library ({:.0}%)",
+        mem.total_accesses,
+        mem.model_accesses,
+        foray::MemoryBehavior::pct(mem.model_accesses, mem.total_accesses),
+        mem.lib_accesses,
+        foray::MemoryBehavior::pct(mem.lib_accesses, mem.total_accesses),
+    );
+    println!(
+        "footprint: {} addresses total, {} in model ({:.0}%)",
+        mem.total_footprint,
+        mem.model_footprint,
+        foray::MemoryBehavior::pct(mem.model_footprint, mem.total_footprint),
+    );
+    println!();
+    println!("== back-annotation (Phase III) ==");
+    for note in foray::srcmap::annotate(&out.model, &out.program) {
+        match note.site {
+            Some(s) => println!(
+                "{} -> {} in {}() at {} ({})",
+                note.array,
+                s.base.as_deref().unwrap_or("?"),
+                s.function,
+                s.loc,
+                s.text
+            ),
+            None => println!("{} -> (synthetic traffic, no source site)", note.array),
+        }
+    }
+    if !out.hints.is_empty() {
+        println!();
+        println!("== inlining hints ==");
+        for h in &out.hints {
+            println!(
+                "duplicate `{}`: loop {} runs in {} contexts ({})",
+                h.function,
+                h.loop_id,
+                h.contexts.len(),
+                h.context_paths.join(" | ")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_spm(src: &str, opts: &Options) -> Result<(), CliError> {
+    let out = pipeline(opts).run_source(src)?;
+    let flow = foray_spm::SpmFlow::default();
+    let report = flow.run(&out.model, opts.capacity);
+    println!("== buffer candidates ==");
+    for c in &report.candidates {
+        println!(
+            "{} level {}: {} bytes, reuse x{:.1}, savings {:.1} nJ",
+            c.array,
+            c.level,
+            c.size_bytes,
+            c.reuse_factor(),
+            c.savings_nj(flow.energy())
+        );
+    }
+    println!();
+    println!(
+        "== selection (capacity {} bytes): {} buffers, {} bytes, {:.1} nJ saved ==",
+        opts.capacity,
+        report.selection.chosen.len(),
+        report.selection.used_bytes,
+        report.selection.savings_nj
+    );
+    println!();
+    println!("== transformed FORAY model ==");
+    print!("{}", report.code);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("foray_cli_test_{name}.mc"));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const PROG: &str =
+        "int a[64];\nvoid main() { int i; for (i = 0; i < 64; i++) { a[i] = i; } }";
+
+    #[test]
+    fn model_command_runs() {
+        let path = write_temp("model", PROG);
+        let args = vec!["model".to_owned(), path];
+        assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn options_parse() {
+        let path = write_temp("opts", PROG);
+        let args: Vec<String> =
+            ["report", &path, "--nexec", "5", "--nloc", "5", "--inputs", "1,2,3"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn trace_to_file_in_both_formats() {
+        let path = write_temp("trace", PROG);
+        for fmt in ["text", "binary"] {
+            let out = std::env::temp_dir().join(format!("foray_cli_trace.{fmt}"));
+            let out_s = out.to_string_lossy().into_owned();
+            let args: Vec<String> = ["trace", path.as_str(), "--format", fmt, "-o", &out_s]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(run(&args).is_ok());
+            assert!(std::fs::metadata(&out).unwrap().len() > 0);
+        }
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["model".to_owned()]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["bogus".to_owned(), "x".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+        let path = write_temp("badflag", PROG);
+        assert!(matches!(
+            run(&["model".to_owned(), path, "--wat".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn compile_errors_are_reported() {
+        let path = write_temp("broken", "void main() {");
+        assert!(matches!(run(&["model".to_owned(), path]), Err(CliError::Compile(_))));
+    }
+
+    #[test]
+    fn spm_command_runs() {
+        let path = write_temp(
+            "spm",
+            "int t[64]; int big[4096];\nvoid main() {\n int i; int j;\n for (i = 0; i < 128; i++) {\n  for (j = 0; j < 64; j++) { big[j] += t[j]; }\n }\n}",
+        );
+        let args: Vec<String> = ["spm", path.as_str(), "--capacity", "1024"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn executable_model_flag() {
+        let path = write_temp("exec", PROG);
+        let args: Vec<String> = ["model", path.as_str(), "--executable"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn annotate_command_runs() {
+        let path = write_temp("annotate", PROG);
+        assert!(run(&["annotate".to_owned(), path]).is_ok());
+    }
+}

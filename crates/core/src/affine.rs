@@ -1,0 +1,440 @@
+//! Affine index-expression inference — Algorithm 3 of the paper.
+//!
+//! For each static memory reference (identified by instruction address ×
+//! loop-tree position), the analyzer incrementally fits
+//!
+//! ```text
+//! index = CONST + C1*iter1 + C2*iter2 + … + CN*iterN      (iter1 innermost)
+//! ```
+//!
+//! against the observed access addresses. Coefficients start `UNKNOWN`; when
+//! exactly one unknown-coefficient iterator changed between consecutive
+//! executions, its coefficient is solved from the address delta. When more
+//! than one changed simultaneously the reference is marked non-analyzable
+//! (the paper reports such references are rare). When the fitted expression
+//! mispredicts, the constant term is re-based and the *partial window* `M`
+//! shrinks so the expression only spans the innermost iterators whose
+//! behaviour is predictable — the paper's partial affine index expressions
+//! (its Fig. 7 scenarios: stack-reallocated local arrays and data-dependent
+//! offsets).
+//!
+//! ## Two deliberate deviations from the paper's pseudo-code
+//!
+//! * Step 3 prints `ADJ = Σ IT_i·C_i`; deriving from the affine model gives
+//!   `ADJ = Σ C_i·(IT_i − ITP_i)`, which is what reproduces the paper's own
+//!   Fig. 4 result (`C2 = 103`, `CONST = 2147440948`). We implement the
+//!   derived form.
+//! * A solved coefficient must be integral; a non-integral quotient marks
+//!   the reference non-analyzable (the paper is silent on this case).
+//!
+//! ## A faithful quirk
+//!
+//! A reference first observed at a non-zero iterator vector (e.g. inside
+//! `if (i == 5)`) gets its constant re-based on the next execution, which
+//! the paper's Step 6 also counts as a misprediction — collapsing `M` and
+//! usually excluding the reference. We preserve that behaviour; see
+//! `rebase_collapses_window_for_late_first_observation` below.
+
+use std::collections::HashSet;
+
+/// A coefficient: `None` is the paper's `UNKNOWN`.
+pub type Coeff = Option<i64>;
+
+/// Incremental affine model of one static memory reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineState {
+    /// Loop nest level `N` at the reference's tree position.
+    n: u32,
+    /// Constant term `CONST`.
+    konst: i64,
+    /// Coefficients `C1..CN`, innermost first.
+    coeffs: Vec<Coeff>,
+    /// Iterator values at the previous execution (`ITP1..ITPN`).
+    itp: Vec<i64>,
+    /// Partial window `M`: iterators `1..=M` participate in the expression.
+    m: u32,
+    /// `S` vector: `true` once the iterator was unchanged during a
+    /// misprediction.
+    s: Vec<bool>,
+    /// Previous access address (`INDP`).
+    indp: i64,
+    /// Set when the reference cannot be described (Step 4 of Algorithm 3).
+    non_analyzable: bool,
+    /// Executions observed.
+    execs: u64,
+    /// Mispredictions (Step 6 firings).
+    mispredictions: u64,
+    /// Distinct addresses touched (footprint), if tracking is enabled.
+    footprint: Option<HashSet<u32>>,
+}
+
+impl AffineState {
+    /// Creates the state at the first execution of a reference with nest
+    /// level `n`, accessing address `addr` under iterator values `iters`
+    /// (innermost first, length `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters.len() != n`.
+    pub fn first(n: u32, iters: &[i64], addr: u32, track_footprint: bool) -> Self {
+        assert_eq!(iters.len(), n as usize, "iterator vector must match nest level");
+        let mut footprint = track_footprint.then(HashSet::new);
+        if let Some(fp) = footprint.as_mut() {
+            fp.insert(addr);
+        }
+        AffineState {
+            n,
+            konst: addr as i64,
+            coeffs: vec![None; n as usize],
+            itp: iters.to_vec(),
+            m: n,
+            s: vec![false; n as usize],
+            indp: addr as i64,
+            non_analyzable: false,
+            execs: 1,
+            mispredictions: 0,
+            footprint,
+        }
+    }
+
+    /// Feeds the next execution (Steps 2–6 of Algorithm 3).
+    ///
+    /// (Index-based loops below mirror the paper's `i = 1..N` subscripts
+    /// over four parallel arrays; iterator chains would obscure that.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters.len()` differs from the nest level given at
+    /// construction.
+    #[allow(clippy::needless_range_loop)]
+    pub fn observe(&mut self, iters: &[i64], addr: u32) {
+        assert_eq!(iters.len(), self.n as usize, "iterator vector must match nest level");
+        self.execs += 1;
+        if let Some(fp) = self.footprint.as_mut() {
+            fp.insert(addr);
+        }
+        if self.non_analyzable {
+            self.itp.copy_from_slice(iters);
+            self.indp = addr as i64;
+            return;
+        }
+        let ind = addr as i64;
+
+        // Step 2: iterators that changed while their coefficient is unknown.
+        let mut h = 0u32;
+        let mut k = usize::MAX;
+        for i in 0..self.n as usize {
+            if iters[i] != self.itp[i] && self.coeffs[i].is_none() {
+                h += 1;
+                k = i;
+            }
+        }
+
+        match h {
+            0 => {}
+            1 => {
+                // Step 3: solve C_k from the delta, compensating the
+                // contribution of changed iterators with known coefficients.
+                let mut adj = 0i64;
+                for i in 0..self.n as usize {
+                    if i != k && iters[i] != self.itp[i] {
+                        if let Some(c) = self.coeffs[i] {
+                            adj += c * (iters[i] - self.itp[i]);
+                        }
+                    }
+                }
+                let num = ind - adj - self.indp;
+                let den = iters[k] - self.itp[k];
+                debug_assert_ne!(den, 0);
+                if num % den == 0 {
+                    self.coeffs[k] = Some(num / den);
+                } else {
+                    self.non_analyzable = true;
+                }
+            }
+            _ => {
+                // Step 4: several unknowns changed at once — give up.
+                self.non_analyzable = true;
+            }
+        }
+
+        if !self.non_analyzable {
+            // Step 5: predict.
+            let mut indc = self.konst;
+            for i in 0..self.n as usize {
+                if let Some(c) = self.coeffs[i] {
+                    indc += c * iters[i];
+                }
+            }
+            // Step 6: on misprediction, re-base CONST and shrink the
+            // partial window to the iterators that changed in *every*
+            // misprediction so far.
+            if indc != ind {
+                self.mispredictions += 1;
+                for i in 0..self.n as usize {
+                    if iters[i] == self.itp[i] {
+                        self.s[i] = true;
+                    }
+                }
+                self.konst += ind - indc;
+                let mut m = 0u32;
+                for i in 0..self.n as usize {
+                    if !self.s[i] {
+                        m = i as u32; // M = i-1 with 1-based i.
+                    }
+                }
+                self.m = m;
+            }
+        }
+
+        self.itp.copy_from_slice(iters);
+        self.indp = ind;
+    }
+
+    /// Nest level `N`.
+    pub fn nest_level(&self) -> u32 {
+        self.n
+    }
+
+    /// Constant term of the (possibly partial) expression.
+    pub fn constant(&self) -> i64 {
+        self.konst
+    }
+
+    /// Coefficients `C1..CN`, innermost first (`None` = never observed
+    /// changing independently; behaviourally 0 over the profiled run).
+    pub fn coefficients(&self) -> &[Coeff] {
+        &self.coeffs
+    }
+
+    /// Partial window `M`: the expression is valid over iterators `1..=M`.
+    /// `M == N` means the expression is a full affine function.
+    pub fn window(&self) -> u32 {
+        self.m
+    }
+
+    /// Whether the expression covers the whole nest.
+    pub fn is_full(&self) -> bool {
+        self.m == self.n
+    }
+
+    /// Whether the reference was marked non-analyzable.
+    pub fn is_non_analyzable(&self) -> bool {
+        self.non_analyzable
+    }
+
+    /// Executions observed (the paper's `Nexec` filter input).
+    pub fn executions(&self) -> u64 {
+        self.execs
+    }
+
+    /// Mispredictions encountered (Step 6 firings).
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Distinct addresses touched (the paper's `Nloc` filter input), if
+    /// tracking was enabled.
+    pub fn footprint(&self) -> Option<u64> {
+        self.footprint.as_ref().map(|s| s.len() as u64)
+    }
+
+    /// The footprint address set itself, if tracking was enabled (used to
+    /// union footprints per reference class for Table III).
+    pub fn footprint_addrs(&self) -> Option<&HashSet<u32>> {
+        self.footprint.as_ref()
+    }
+
+    /// Whether the expression, restricted to its window, involves at least
+    /// one iterator with a known non-zero coefficient — Step 4 of
+    /// Algorithm 1's "includes at least one iterator" condition.
+    pub fn has_iterator(&self) -> bool {
+        self.coeffs[..self.m as usize]
+            .iter()
+            .any(|c| matches!(c, Some(v) if *v != 0))
+    }
+
+    /// Evaluates the fitted expression at an iterator vector (unknown
+    /// coefficients contribute nothing, like the paper's Step 5).
+    pub fn predict(&self, iters: &[i64]) -> i64 {
+        let mut v = self.konst;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if let Some(c) = c {
+                v += c * iters[i];
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a state through `(iters, addr)` observations.
+    fn drive(n: u32, obs: &[(&[i64], u32)]) -> AffineState {
+        let mut st = AffineState::first(n, obs[0].0, obs[0].1, true);
+        for (iters, addr) in &obs[1..] {
+            st.observe(iters, *addr);
+        }
+        st
+    }
+
+    #[test]
+    fn figure4_exact_reproduction() {
+        // The paper's worked example: addresses 0x7fff5934..36 in entry one
+        // of the inner loop, 0x7fff599b..9d in entry two. Expected model:
+        // A[2147440948 + 1*i_inner + 103*i_outer].
+        let st = drive(2, &[
+            (&[0, 0], 0x7fff5934),
+            (&[1, 0], 0x7fff5935),
+            (&[2, 0], 0x7fff5936),
+            (&[0, 1], 0x7fff599b),
+            (&[1, 1], 0x7fff599c),
+            (&[2, 1], 0x7fff599d),
+        ]);
+        assert!(!st.is_non_analyzable());
+        assert_eq!(st.constant(), 2147440948);
+        assert_eq!(st.coefficients(), &[Some(1), Some(103)]);
+        assert!(st.is_full());
+        assert_eq!(st.window(), 2);
+        assert_eq!(st.executions(), 6);
+        assert_eq!(st.mispredictions(), 0);
+        assert_eq!(st.footprint(), Some(6));
+        assert!(st.has_iterator());
+    }
+
+    #[test]
+    fn single_loop_unit_stride() {
+        let obs: Vec<(Vec<i64>, u32)> =
+            (0..10).map(|i| (vec![i], 0x1000 + 4 * i as u32)).collect();
+        let refs: Vec<(&[i64], u32)> = obs.iter().map(|(v, a)| (v.as_slice(), *a)).collect();
+        let st = drive(1, &refs);
+        assert_eq!(st.constant(), 0x1000);
+        assert_eq!(st.coefficients(), &[Some(4)]);
+        assert_eq!(st.predict(&[7]), 0x1000 + 28);
+    }
+
+    #[test]
+    fn constant_reference_has_no_iterator() {
+        let st = drive(1, &[(&[0], 0x500), (&[1], 0x500), (&[2], 0x500)]);
+        assert!(!st.is_non_analyzable());
+        // Coefficient solved as 0 — known, but not a usable iterator.
+        assert_eq!(st.coefficients(), &[Some(0)]);
+        assert!(!st.has_iterator());
+    }
+
+    #[test]
+    fn data_dependent_offset_yields_partial_window() {
+        // Fig 7, second case: inner loop i walks stride 4; each outer entry
+        // x jumps by a data-dependent offset. The window must shrink to the
+        // inner iterator only.
+        let mut obs: Vec<(Vec<i64>, u32)> = Vec::new();
+        let bases = [0x1000u32, 0x1790, 0x2004]; // irregular bases
+        for (x, base) in bases.iter().enumerate() {
+            for i in 0..5i64 {
+                obs.push((vec![i, x as i64], base + 4 * i as u32));
+            }
+        }
+        let refs: Vec<(&[i64], u32)> = obs.iter().map(|(v, a)| (v.as_slice(), *a)).collect();
+        let st = drive(2, &refs);
+        assert!(!st.is_non_analyzable());
+        assert_eq!(st.window(), 1, "only the innermost iterator is predictable");
+        assert!(!st.is_full());
+        assert_eq!(st.coefficients()[0], Some(4));
+        assert!(st.has_iterator());
+        // The first base jump is absorbed by solving C2; only the second
+        // jump contradicts it and fires Step 6.
+        assert_eq!(st.mispredictions(), 1);
+    }
+
+    #[test]
+    fn simultaneous_unknown_changes_are_non_analyzable() {
+        // Both iterators change between the first two executions while both
+        // coefficients are unknown (H = 2).
+        let st = drive(2, &[(&[0, 0], 0x100), (&[1, 1], 0x200)]);
+        assert!(st.is_non_analyzable());
+    }
+
+    #[test]
+    fn non_integral_coefficient_is_non_analyzable() {
+        // Delta 3 over iterator delta 2.
+        let st = drive(1, &[(&[0], 100), (&[2], 103)]);
+        assert!(st.is_non_analyzable());
+    }
+
+    #[test]
+    fn random_walk_is_rejected_or_windowless() {
+        // Same iterator vector, different addresses: pure data dependence.
+        let st = drive(1, &[(&[0], 100), (&[0], 250), (&[0], 90)]);
+        // No iterator changed, so coefficients stay unknown; mispredictions
+        // collapse the window to zero.
+        assert_eq!(st.window(), 0);
+        assert!(!st.has_iterator());
+    }
+
+    #[test]
+    fn rebase_collapses_window_for_late_first_observation() {
+        // Documented faithful quirk: first seen at iter 5, regular stride 4.
+        let st = drive(1, &[(&[5], 0x1000), (&[6], 0x1004), (&[7], 0x1008)]);
+        // C solved exactly, one rebase misprediction, window collapsed.
+        assert_eq!(st.coefficients(), &[Some(4)]);
+        assert_eq!(st.mispredictions(), 1);
+        assert_eq!(st.window(), 0);
+    }
+
+    #[test]
+    fn negative_stride() {
+        let obs: Vec<(Vec<i64>, u32)> =
+            (0..8).map(|i| (vec![i], 0x2000 - 8 * i as u32)).collect();
+        let refs: Vec<(&[i64], u32)> = obs.iter().map(|(v, a)| (v.as_slice(), *a)).collect();
+        let st = drive(1, &refs);
+        assert_eq!(st.coefficients(), &[Some(-8)]);
+        assert!(st.is_full());
+    }
+
+    #[test]
+    fn three_level_nest() {
+        // A[i + 16*j + 256*k] over a 4×4×4 space, element size 4.
+        let mut obs: Vec<(Vec<i64>, u32)> = Vec::new();
+        for k in 0..4i64 {
+            for j in 0..4i64 {
+                for i in 0..4i64 {
+                    obs.push((vec![i, j, k], (0x8000 + 4 * (i + 16 * j + 256 * k)) as u32));
+                }
+            }
+        }
+        let refs: Vec<(&[i64], u32)> = obs.iter().map(|(v, a)| (v.as_slice(), *a)).collect();
+        let st = drive(3, &refs);
+        assert_eq!(st.coefficients(), &[Some(4), Some(64), Some(1024)]);
+        assert!(st.is_full());
+        assert_eq!(st.mispredictions(), 0);
+        assert_eq!(st.footprint(), Some(64));
+    }
+
+    #[test]
+    fn footprint_tracking_optional() {
+        let mut st = AffineState::first(1, &[0], 0x100, false);
+        st.observe(&[1], 0x104);
+        assert_eq!(st.footprint(), None);
+        assert_eq!(st.executions(), 2);
+    }
+
+    #[test]
+    fn iterator_reset_between_entries_is_handled() {
+        // Inner loop re-entered: iterator drops 2 → 0 while the outer
+        // iterator advances; the outer coefficient absorbs the jump
+        // (exactly Fig 4's C2 = 103 situation, smaller numbers).
+        let st = drive(2, &[
+            (&[0, 0], 100),
+            (&[1, 0], 101),
+            (&[2, 0], 102),
+            (&[0, 1], 110), // delta = +8 while inner fell by 2: C2 = 10
+            (&[1, 1], 111),
+            (&[2, 1], 112),
+        ]);
+        assert_eq!(st.coefficients(), &[Some(1), Some(10)]);
+        assert_eq!(st.constant(), 100);
+        assert!(st.is_full());
+    }
+}

@@ -1,0 +1,362 @@
+//! The streaming trace analyzer: Algorithm 2 + Algorithm 3 fused behind a
+//! [`TraceSink`].
+//!
+//! Because the analyzer consumes each record exactly once, in order, it can
+//! run *during* profiling (plug it into the simulator as the sink) with
+//! space independent of trace length — the property the paper highlights at
+//! the end of Section 4. Offline analysis of a stored trace uses the same
+//! type via [`Analyzer::consume`].
+
+use crate::affine::AffineState;
+use crate::looptree::{LoopTree, NodeId};
+use minic_trace::{layout, Access, AccessKind, InstrAddr, Record, TraceSink};
+use std::collections::HashMap;
+
+/// How the analyzer finds the reference record for an incoming access.
+///
+/// The paper argues average-constant complexity "if we use hash tables for
+/// the searches"; [`LookupStrategy::Linear`] exists to measure the
+/// alternative (see the `lookup_ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookupStrategy {
+    /// Hash map keyed by `(node, instruction)` — the paper's choice.
+    #[default]
+    Hash,
+    /// Linear scan of the current node's reference list.
+    Linear,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzerConfig {
+    /// Track each reference's distinct-address footprint (needed by the
+    /// Step 4 filter and Table III; disable only for throughput benching).
+    pub track_footprint: bool,
+    /// Reference lookup strategy.
+    pub lookup: LookupStrategy,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig { track_footprint: true, lookup: LookupStrategy::Hash }
+    }
+}
+
+/// Classification of a static reference by its instruction-address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefClass {
+    /// An access site in user source code.
+    User,
+    /// System-library traffic (`malloc`, `memset`, I/O, ...) — Table III's
+    /// middle column; never part of the FORAY model.
+    Library,
+    /// Compiler-generated argument-passing / spill traffic — user code, but
+    /// invisible in the source; the paper notes Step 4 filters it.
+    Frame,
+}
+
+impl RefClass {
+    fn of(instr: InstrAddr) -> RefClass {
+        if layout::is_library_instr(instr) {
+            RefClass::Library
+        } else if (layout::FRAME_CODE_BASE..layout::GLOBAL_BASE).contains(&instr.0) {
+            RefClass::Frame
+        } else {
+            RefClass::User
+        }
+    }
+}
+
+/// One static memory reference: an instruction address at a loop-tree
+/// position, with its fitted affine state and access counters.
+#[derive(Debug, Clone)]
+pub struct RefRecord {
+    /// Instruction address identifying the source-level site.
+    pub instr: InstrAddr,
+    /// Loop-tree position (references of the same instruction in different
+    /// calling contexts are distinct, i.e. "inlined").
+    pub node: NodeId,
+    /// Fitted affine model.
+    pub state: AffineState,
+    /// Loads observed.
+    pub reads: u64,
+    /// Stores observed.
+    pub writes: u64,
+    /// User / library / frame classification.
+    pub class: RefClass,
+}
+
+/// Streaming analyzer state.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    tree: LoopTree,
+    refs: Vec<RefRecord>,
+    by_key: HashMap<(NodeId, InstrAddr), usize>,
+    by_node: HashMap<NodeId, Vec<usize>>,
+    config: AnalyzerConfig,
+    iters_buf: Vec<i64>,
+    accesses: u64,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with the default configuration.
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Creates an analyzer with an explicit configuration.
+    pub fn with_config(config: AnalyzerConfig) -> Self {
+        Analyzer { config, ..Analyzer::default() }
+    }
+
+    /// Feeds a whole pre-recorded trace (offline mode).
+    pub fn consume<'a>(&mut self, records: impl IntoIterator<Item = &'a Record>) {
+        for r in records {
+            self.record(r);
+        }
+    }
+
+    /// Finishes analysis, yielding the immutable results.
+    pub fn into_analysis(self) -> Analysis {
+        Analysis { tree: self.tree, refs: self.refs, accesses: self.accesses }
+    }
+
+    fn on_access(&mut self, a: &Access) {
+        self.accesses += 1;
+        let node = self.tree.current();
+        let idx = match self.config.lookup {
+            LookupStrategy::Hash => self.by_key.get(&(node, a.instr)).copied(),
+            LookupStrategy::Linear => self
+                .by_node
+                .get(&node)
+                .and_then(|v| v.iter().copied().find(|&i| self.refs[i].instr == a.instr)),
+        };
+        match idx {
+            Some(i) => {
+                self.iters_buf.clear();
+                collect_iters(&self.tree, node, &mut self.iters_buf);
+                let rec = &mut self.refs[i];
+                rec.state.observe(&self.iters_buf, a.addr.0);
+                match a.kind {
+                    AccessKind::Read => rec.reads += 1,
+                    AccessKind::Write => rec.writes += 1,
+                }
+            }
+            None => {
+                self.iters_buf.clear();
+                collect_iters(&self.tree, node, &mut self.iters_buf);
+                let depth = self.tree.node(node).depth;
+                let state = AffineState::first(
+                    depth,
+                    &self.iters_buf,
+                    a.addr.0,
+                    self.config.track_footprint,
+                );
+                let (mut reads, mut writes) = (0, 0);
+                match a.kind {
+                    AccessKind::Read => reads = 1,
+                    AccessKind::Write => writes = 1,
+                }
+                let i = self.refs.len();
+                self.refs.push(RefRecord {
+                    instr: a.instr,
+                    node,
+                    state,
+                    reads,
+                    writes,
+                    class: RefClass::of(a.instr),
+                });
+                match self.config.lookup {
+                    LookupStrategy::Hash => {
+                        self.by_key.insert((node, a.instr), i);
+                    }
+                    LookupStrategy::Linear => {
+                        self.by_node.entry(node).or_default().push(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn collect_iters(tree: &LoopTree, node: NodeId, buf: &mut Vec<i64>) {
+    // Innermost first, matching `LoopTree::iterators` without allocating.
+    let mut cur = Some(node);
+    while let Some(nid) = cur {
+        let n = tree.node(nid);
+        if n.loop_id.is_some() {
+            buf.push(n.iter);
+        }
+        cur = n.parent;
+    }
+}
+
+impl TraceSink for Analyzer {
+    fn record(&mut self, rec: &Record) {
+        match rec {
+            Record::Checkpoint { loop_id, kind } => self.tree.on_checkpoint(*loop_id, *kind),
+            Record::Access(a) => self.on_access(a),
+        }
+    }
+}
+
+/// Immutable analysis results: the reconstructed loop tree and every
+/// reference with its fitted affine state.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    tree: LoopTree,
+    refs: Vec<RefRecord>,
+    accesses: u64,
+}
+
+impl Analysis {
+    /// The reconstructed loop tree.
+    pub fn tree(&self) -> &LoopTree {
+        &self.tree
+    }
+
+    /// All references, in first-observation order.
+    pub fn refs(&self) -> &[RefRecord] {
+        &self.refs
+    }
+
+    /// Total accesses analyzed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// References of a given class.
+    pub fn refs_of(&self, class: RefClass) -> impl Iterator<Item = &RefRecord> {
+        self.refs.iter().filter(move |r| r.class == class)
+    }
+}
+
+/// Analyzes a complete record slice in one call (offline convenience).
+///
+/// # Examples
+///
+/// ```
+/// use minic::CheckpointKind::*;
+/// use minic_trace::{AccessKind, Record};
+///
+/// let trace = vec![
+///     Record::checkpoint(0, LoopBegin),
+///     Record::checkpoint(0, BodyBegin),
+///     Record::access(0x400000, 0x1000_0000, AccessKind::Read),
+///     Record::checkpoint(0, BodyEnd),
+///     Record::checkpoint(0, BodyBegin),
+///     Record::access(0x400000, 0x1000_0004, AccessKind::Read),
+///     Record::checkpoint(0, BodyEnd),
+/// ];
+/// let analysis = foray::analyze(&trace);
+/// assert_eq!(analysis.refs().len(), 1);
+/// assert_eq!(analysis.refs()[0].state.coefficients(), &[Some(4)]);
+/// ```
+pub fn analyze(records: &[Record]) -> Analysis {
+    analyze_with(records, AnalyzerConfig::default())
+}
+
+/// [`analyze`] with an explicit configuration.
+pub fn analyze_with(records: &[Record], config: AnalyzerConfig) -> Analysis {
+    let mut analyzer = Analyzer::with_config(config);
+    analyzer.consume(records);
+    analyzer.into_analysis()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::CheckpointKind::{BodyBegin as BB, BodyEnd as BE, LoopBegin as LB};
+
+    /// The paper's Fig 4(c) trace, verbatim (checkpoint ids 12..17 are the
+    /// flat `3*loop + kind` encodings for loops 4 and 5).
+    fn figure4_trace() -> Vec<Record> {
+        let mut t = Vec::new();
+        let acc = |addr: u32| Record::access(0x4002a0, addr, AccessKind::Write);
+        t.push(Record::checkpoint(4, LB)); // Checkpoint: 12
+        for (body, addrs) in
+            [(0, [0x7fff5934u32, 0x7fff5935, 0x7fff5936]), (1, [0x7fff599b, 0x7fff599c, 0x7fff599d])]
+        {
+            let _ = body;
+            t.push(Record::checkpoint(4, BB)); // 13
+            t.push(Record::checkpoint(5, LB)); // 15
+            for a in addrs {
+                t.push(Record::checkpoint(5, BB)); // 16
+                t.push(acc(a));
+                t.push(Record::checkpoint(5, BE)); // 14
+            }
+            t.push(Record::checkpoint(4, BE)); // 17
+        }
+        t
+    }
+
+    #[test]
+    fn figure4_end_to_end() {
+        let analysis = analyze(&figure4_trace());
+        assert_eq!(analysis.refs().len(), 1);
+        let r = &analysis.refs()[0];
+        assert_eq!(r.instr, InstrAddr(0x4002a0));
+        assert_eq!(r.state.constant(), 2147440948);
+        assert_eq!(r.state.coefficients(), &[Some(1), Some(103)]);
+        assert!(r.state.is_full());
+        assert_eq!(r.writes, 6);
+        assert_eq!(r.reads, 0);
+        assert_eq!(r.class, RefClass::User);
+        assert_eq!(analysis.accesses(), 6);
+    }
+
+    #[test]
+    fn hash_and_linear_lookup_agree() {
+        let trace = figure4_trace();
+        let a = analyze_with(&trace, AnalyzerConfig::default());
+        let b = analyze_with(
+            &trace,
+            AnalyzerConfig { lookup: LookupStrategy::Linear, ..AnalyzerConfig::default() },
+        );
+        assert_eq!(a.refs().len(), b.refs().len());
+        assert_eq!(a.refs()[0].state, b.refs()[0].state);
+    }
+
+    #[test]
+    fn same_instr_in_two_contexts_is_two_references() {
+        // Loop 9 under loop 0 and under loop 1; instr 0x400010 inside.
+        let mut t = Vec::new();
+        for outer in [0u32, 1] {
+            t.push(Record::checkpoint(outer, LB));
+            t.push(Record::checkpoint(outer, BB));
+            t.push(Record::checkpoint(9, LB));
+            for i in 0..3u32 {
+                t.push(Record::checkpoint(9, BB));
+                t.push(Record::access(0x400010, 0x1000 + 4 * i, AccessKind::Read));
+                t.push(Record::checkpoint(9, BE));
+            }
+            t.push(Record::checkpoint(outer, BE));
+        }
+        let analysis = analyze(&t);
+        assert_eq!(analysis.refs().len(), 2, "one reference per inlined context");
+        for r in analysis.refs() {
+            assert_eq!(r.state.coefficients()[0], Some(4));
+        }
+    }
+
+    #[test]
+    fn library_and_frame_classification() {
+        let t = vec![
+            Record::access(layout::LIB_CODE_BASE, 0x4000_0000, AccessKind::Write),
+            Record::access(layout::FRAME_CODE_BASE, 0x7fff_0000, AccessKind::Write),
+            Record::access(layout::CODE_BASE, 0x1000_0000, AccessKind::Read),
+        ];
+        let analysis = analyze(&t);
+        let classes: Vec<RefClass> = analysis.refs().iter().map(|r| r.class).collect();
+        assert_eq!(classes, vec![RefClass::Library, RefClass::Frame, RefClass::User]);
+        assert_eq!(analysis.refs_of(RefClass::Library).count(), 1);
+    }
+
+    #[test]
+    fn top_level_accesses_attach_to_root() {
+        let t = vec![Record::access(0x400000, 0x1000_0000, AccessKind::Read)];
+        let analysis = analyze(&t);
+        assert_eq!(analysis.refs()[0].state.nest_level(), 0);
+        assert!(!analysis.refs()[0].state.has_iterator());
+    }
+}

@@ -1,0 +1,391 @@
+//! Rendering a [`ForayModel`] as C text in the style of the paper's
+//! Fig. 2 / Fig. 4(d):
+//!
+//! ```text
+//! for (int i12=0; i12<2; i12++)
+//!     for (int i15=0; i15<3; i15++)
+//!         A4002a0[2147440948 + 1*i15 + 103*i12]; // wr x6
+//! ```
+//!
+//! Loop iterators are named `i<n>` after the loop's *loop-begin checkpoint
+//! number* (`3 * loop_id`), matching how the paper derives `i12`/`i15` from
+//! its checkpoint ids.
+
+use crate::model::{ForayModel, ModelRef};
+use crate::looptree::NodeId;
+use minic::{checkpoint_number, CheckpointKind, LoopId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Iterator variable name for a loop (`i{loop-begin checkpoint}`).
+pub fn iter_name(loop_id: LoopId) -> String {
+    format!("i{}", checkpoint_number(loop_id, CheckpointKind::LoopBegin))
+}
+
+/// Renders the affine index expression of one reference
+/// (`const + c1*i_inner + ...`, innermost term first, like the paper).
+pub fn index_expr(r: &ModelRef) -> String {
+    let mut s = r.constant.to_string();
+    for t in &r.terms {
+        if t.coeff >= 0 {
+            let _ = write!(s, " + {}*{}", t.coeff, iter_name(t.loop_id));
+        } else {
+            let _ = write!(s, " - {}*{}", -t.coeff, iter_name(t.loop_id));
+        }
+    }
+    s
+}
+
+/// Renders the whole model as C-like text.
+///
+/// # Examples
+///
+/// ```
+/// use minic::CheckpointKind::*;
+/// use minic_trace::{AccessKind, Record};
+///
+/// let mut trace = vec![Record::checkpoint(0, LoopBegin)];
+/// for i in 0..32u32 {
+///     trace.push(Record::checkpoint(0, BodyBegin));
+///     trace.push(Record::access(0x400000, 0x1000 + 4 * i, AccessKind::Write));
+///     trace.push(Record::checkpoint(0, BodyEnd));
+/// }
+/// let analysis = foray::analyze(&trace);
+/// let model = foray::ForayModel::extract(&analysis, &foray::FilterConfig::default());
+/// let code = foray::codegen::emit(&model);
+/// assert!(code.contains("for (int i0=0; i0<32; i0++)"));
+/// assert!(code.contains("A400000[4096 + 4*i0]"));
+/// ```
+pub fn emit(model: &ForayModel) -> String {
+    let mut out = String::new();
+    // Children of each emitted loop node; None key = top-level nests.
+    let mut children: BTreeMap<Option<NodeId>, Vec<NodeId>> = BTreeMap::new();
+    for l in model.loops.values() {
+        children.entry(l.parent).or_default().push(l.node);
+    }
+    for v in children.values_mut() {
+        v.sort_unstable();
+    }
+    // References grouped by their innermost loop node (or none).
+    let mut refs_at: BTreeMap<Option<NodeId>, Vec<&ModelRef>> = BTreeMap::new();
+    for r in &model.refs {
+        refs_at.entry(r.node_path.first().copied()).or_default().push(r);
+    }
+    // Top-level references (outside every loop) cannot survive the filter
+    // (no iterator), but guard anyway.
+    if let Some(rs) = refs_at.get(&None) {
+        for r in rs {
+            emit_ref(&mut out, 0, r);
+        }
+    }
+    if let Some(tops) = children.get(&None) {
+        for &n in tops {
+            emit_loop(&mut out, model, &children, &refs_at, n, 0);
+        }
+    }
+    out
+}
+
+fn emit_loop(
+    out: &mut String,
+    model: &ForayModel,
+    children: &BTreeMap<Option<NodeId>, Vec<NodeId>>,
+    refs_at: &BTreeMap<Option<NodeId>, Vec<&ModelRef>>,
+    node: NodeId,
+    indent: usize,
+) {
+    let l = &model.loops[&node];
+    let name = iter_name(l.loop_id);
+    indent_to(out, indent);
+    let _ = writeln!(out, "for (int {name}=0; {name}<{}; {name}++)", l.trip);
+    if let Some(rs) = refs_at.get(&Some(node)) {
+        for r in rs {
+            emit_ref(out, indent + 1, r);
+        }
+    }
+    if let Some(kids) = children.get(&Some(node)) {
+        for &k in kids {
+            emit_loop(out, model, children, refs_at, k, indent + 1);
+        }
+    }
+}
+
+fn emit_ref(out: &mut String, indent: usize, r: &ModelRef) {
+    indent_to(out, indent);
+    let rw = match (r.reads > 0, r.writes > 0) {
+        (true, true) => "rd+wr",
+        (true, false) => "rd",
+        (false, true) => "wr",
+        (false, false) => "-",
+    };
+    let partial = if r.is_partial() {
+        format!(" /* partial: const varies with outer {} loop(s) */", r.nest - r.window)
+    } else {
+        String::new()
+    };
+    let _ = writeln!(
+        out,
+        "{}[{}]; // {} x{}{}",
+        r.array_name(),
+        index_expr(r),
+        rw,
+        r.execs,
+        partial
+    );
+}
+
+fn indent_to(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+/// Renders the model as an **executable** mini-C program.
+///
+/// The paper's FORAY model "is another C program"; this emitter makes ours
+/// literally runnable: each reference becomes a `char` array sized to its
+/// affine span (indices re-based so the minimum offset is 0), reads
+/// accumulate into a sink, writes store the iterator sum. Re-profiling the
+/// emitted program with FORAY-GEN reproduces the model's affine terms — a
+/// fixpoint that `tests/fixpoint.rs` asserts.
+///
+/// Partial references are emitted with their current constant (their outer
+/// variation is data-dependent by definition), so the fixpoint holds for
+/// full references and for the inner window of partial ones.
+///
+/// # Examples
+///
+/// ```
+/// use minic::CheckpointKind::*;
+/// use minic_trace::{AccessKind, Record};
+///
+/// let mut trace = vec![Record::checkpoint(0, LoopBegin)];
+/// for i in 0..32u32 {
+///     trace.push(Record::checkpoint(0, BodyBegin));
+///     trace.push(Record::access(0x400000, 0x1000 + 4 * i, AccessKind::Write));
+///     trace.push(Record::checkpoint(0, BodyEnd));
+/// }
+/// let analysis = foray::analyze(&trace);
+/// let model = foray::ForayModel::extract(&analysis, &foray::FilterConfig::default());
+/// let src = foray::codegen::emit_minic(&model);
+/// assert!(minic::frontend(&src).is_ok(), "{src}");
+/// ```
+pub fn emit_minic(model: &ForayModel) -> String {
+    let mut out = String::new();
+    // A reference name can repeat when the same instruction appears in
+    // several inlined contexts (Fig. 9); suffix the context node to keep
+    // the emitted globals unique.
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for r in &model.refs {
+        *counts.entry(r.array_name()).or_default() += 1;
+    }
+    let unique_name = |r: &ModelRef| {
+        let base = r.array_name();
+        if counts[&base] > 1 {
+            format!("{base}_c{}", r.node.0)
+        } else {
+            base
+        }
+    };
+    // Array declarations: one char array per reference, span-sized.
+    for r in &model.refs {
+        let (size, _) = span_and_min(r, model);
+        let _ = writeln!(out, "char {}[{}];", unique_name(r), size.max(1));
+    }
+    let _ = writeln!(out, "int foray_sink;");
+    out.push('\n');
+    let _ = writeln!(out, "void main() {{");
+
+    let mut children: BTreeMap<Option<NodeId>, Vec<NodeId>> = BTreeMap::new();
+    for l in model.loops.values() {
+        children.entry(l.parent).or_default().push(l.node);
+    }
+    for v in children.values_mut() {
+        v.sort_unstable();
+    }
+    let mut refs_at: BTreeMap<Option<NodeId>, Vec<&ModelRef>> = BTreeMap::new();
+    for r in &model.refs {
+        refs_at.entry(r.node_path.first().copied()).or_default().push(r);
+    }
+    if let Some(tops) = children.get(&None) {
+        for &n in tops {
+            emit_minic_loop(&mut out, model, &children, &refs_at, &counts, n, 1);
+        }
+    }
+    let _ = writeln!(out, "    print_int(foray_sink);");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Byte span of the reference over its window, and the minimum value of
+/// the windowed affine part (for re-basing to 0).
+fn span_and_min(r: &ModelRef, model: &ForayModel) -> (u64, i64) {
+    let mut span: u64 = 0;
+    let mut min: i64 = 0;
+    for t in &r.terms {
+        let trip = r
+            .node_path
+            .get(t.level as usize - 1)
+            .and_then(|n| model.loops.get(n))
+            .map(|l| l.trip.max(1))
+            .unwrap_or(1);
+        span += t.coeff.unsigned_abs() * (trip - 1);
+        if t.coeff < 0 {
+            min += t.coeff * (trip as i64 - 1);
+        }
+    }
+    (span + 1, min)
+}
+
+fn emit_minic_loop(
+    out: &mut String,
+    model: &ForayModel,
+    children: &BTreeMap<Option<NodeId>, Vec<NodeId>>,
+    refs_at: &BTreeMap<Option<NodeId>, Vec<&ModelRef>>,
+    counts: &HashMap<String, usize>,
+    node: NodeId,
+    indent: usize,
+) {
+    let unique_name = |r: &ModelRef| {
+        let base = r.array_name();
+        if counts[&base] > 1 {
+            format!("{base}_c{}", r.node.0)
+        } else {
+            base
+        }
+    };
+    let l = &model.loops[&node];
+    let name = iter_name(l.loop_id);
+    indent_to(out, indent);
+    let _ = writeln!(out, "for (int {name}=0; {name}<{}; {name}++) {{", l.trip);
+    if let Some(rs) = refs_at.get(&Some(node)) {
+        for r in rs {
+            let (_, min) = span_and_min(r, model);
+            let mut expr = (-min).to_string();
+            let mut iter_sum = String::from("0");
+            for t in &r.terms {
+                let n = iter_name(t.loop_id);
+                if t.coeff >= 0 {
+                    let _ = write!(expr, " + {}*{}", t.coeff, n);
+                } else {
+                    let _ = write!(expr, " - {}*{}", -t.coeff, n);
+                }
+                let _ = write!(iter_sum, " + {n}");
+            }
+            indent_to(out, indent + 1);
+            if r.writes > 0 {
+                let _ = writeln!(out, "{}[{}] = {};", unique_name(r), expr, iter_sum);
+            } else {
+                let _ = writeln!(out, "foray_sink += {}[{}];", unique_name(r), expr);
+            }
+        }
+    }
+    if let Some(kids) = children.get(&Some(node)) {
+        for &k in kids {
+            emit_minic_loop(out, model, children, refs_at, counts, k, indent + 1);
+        }
+    }
+    indent_to(out, indent);
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::model::FilterConfig;
+    use minic::CheckpointKind::{BodyBegin as BB, BodyEnd as BE, LoopBegin as LB};
+    use minic_trace::{AccessKind, Record};
+
+    #[test]
+    fn figure4_output_shape() {
+        // Loops 4 (while) and 5 (for) so iterator names are i12 / i15,
+        // matching the paper's Fig 4(d) verbatim.
+        let mut t = vec![Record::checkpoint(4, LB)];
+        for outer in 0..2u32 {
+            t.push(Record::checkpoint(4, BB));
+            t.push(Record::checkpoint(5, LB));
+            for inner in 0..3u32 {
+                t.push(Record::checkpoint(5, BB));
+                t.push(Record::access(
+                    0x4002a0,
+                    0x7fff5934 + inner + 103 * outer,
+                    AccessKind::Write,
+                ));
+                t.push(Record::checkpoint(5, BE));
+            }
+            t.push(Record::checkpoint(4, BE));
+        }
+        let model = ForayModel::extract(
+            &analyze(&t),
+            &FilterConfig { n_exec: 6, n_loc: 6 },
+        );
+        let code = emit(&model);
+        assert!(code.contains("for (int i12=0; i12<2; i12++)"), "{code}");
+        assert!(code.contains("for (int i15=0; i15<3; i15++)"), "{code}");
+        assert!(code.contains("A4002a0[2147440948 + 1*i15 + 103*i12]"), "{code}");
+    }
+
+    #[test]
+    fn negative_coefficients_render_with_minus() {
+        let mut t = vec![Record::checkpoint(0, LB)];
+        for i in 0..32u32 {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::access(0x400000, 0x2000 - 4 * i, AccessKind::Read));
+            t.push(Record::checkpoint(0, BE));
+        }
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig::default());
+        let code = emit(&model);
+        assert!(code.contains("A400000[8192 - 4*i0]"), "{code}");
+    }
+
+    #[test]
+    fn partial_reference_is_annotated() {
+        // Irregular outer jumps: window shrinks to the inner iterator.
+        let mut t = Vec::new();
+        t.push(Record::checkpoint(0, LB));
+        for (x, base) in [0x1000u32, 0x1790, 0x2004, 0x3500].iter().enumerate() {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::checkpoint(1, LB));
+            for i in 0..8u32 {
+                t.push(Record::checkpoint(1, BB));
+                t.push(Record::access(0x400000, base + 4 * i, AccessKind::Read));
+                t.push(Record::checkpoint(1, BE));
+            }
+            t.push(Record::checkpoint(0, BE));
+            let _ = x;
+        }
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig::default());
+        assert_eq!(model.ref_count(), 1);
+        assert!(model.refs[0].is_partial());
+        let code = emit(&model);
+        assert!(code.contains("partial"), "{code}");
+        // The inner loop still renders around it.
+        assert!(code.contains("for (int i3=0; i3<8; i3++)"), "{code}");
+    }
+
+    #[test]
+    fn two_sibling_nests() {
+        let mut t = Vec::new();
+        for (loop_id, instr) in [(0u32, 0x400000u32), (1, 0x400004)] {
+            t.push(Record::checkpoint(loop_id, LB));
+            for i in 0..32u32 {
+                t.push(Record::checkpoint(loop_id, BB));
+                t.push(Record::access(instr, 0x1000 + 4 * i, AccessKind::Read));
+                t.push(Record::checkpoint(loop_id, BE));
+            }
+        }
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig::default());
+        let code = emit(&model);
+        assert!(code.contains("for (int i0=0; i0<32; i0++)"));
+        assert!(code.contains("for (int i3=0; i3<32; i3++)"));
+        assert!(code.contains("A400000"));
+        assert!(code.contains("A400004"));
+    }
+
+    #[test]
+    fn empty_model_renders_empty() {
+        let model = ForayModel::default();
+        assert_eq!(emit(&model), "");
+    }
+}

@@ -1,0 +1,333 @@
+//! Ergonomic AST construction for tests, generators, and workloads.
+//!
+//! The helpers assign placeholder [`SiteId`]/[`LoopId`] values; call
+//! [`crate::sema::check`] (or [`crate::sema::renumber`]) on the finished
+//! [`Program`] to canonicalize them.
+//!
+//! # Examples
+//!
+//! ```
+//! use minic::build::*;
+//!
+//! # fn main() -> Result<(), minic::Error> {
+//! let mut prog = program()
+//!     .global_array("a", minic::Type::Int, 16)
+//!     .function("main", [], None, [
+//!         for_loop("i", 0, 16, [
+//!             assign(idx(var("a"), var("i")), var("i")),
+//!         ]),
+//!     ])
+//!     .build();
+//! minic::check(&mut prog)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ast::*;
+use crate::token::Loc;
+
+fn placeholder_site() -> SiteId {
+    SiteId(u32::MAX)
+}
+
+fn placeholder_loop() -> LoopId {
+    LoopId(u32::MAX)
+}
+
+/// Starts a program builder.
+pub fn program() -> ProgramBuilder {
+    ProgramBuilder { prog: Program::new() }
+}
+
+/// Builder for [`Program`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    prog: Program,
+}
+
+impl ProgramBuilder {
+    /// Adds a scalar global.
+    pub fn global(mut self, name: &str, ty: Type) -> Self {
+        self.prog.globals.push(GlobalDecl {
+            name: name.into(),
+            ty,
+            array_len: None,
+            init: vec![],
+            loc: Loc::default(),
+        });
+        self
+    }
+
+    /// Adds a global array.
+    pub fn global_array(mut self, name: &str, ty: Type, len: u32) -> Self {
+        self.prog.globals.push(GlobalDecl {
+            name: name.into(),
+            ty,
+            array_len: Some(len),
+            init: vec![],
+            loc: Loc::default(),
+        });
+        self
+    }
+
+    /// Adds a global array with initial values.
+    pub fn global_array_init(
+        mut self,
+        name: &str,
+        ty: Type,
+        len: u32,
+        init: impl IntoIterator<Item = i64>,
+    ) -> Self {
+        self.prog.globals.push(GlobalDecl {
+            name: name.into(),
+            ty,
+            array_len: Some(len),
+            init: init.into_iter().collect(),
+            loc: Loc::default(),
+        });
+        self
+    }
+
+    /// Adds a function.
+    pub fn function(
+        mut self,
+        name: &str,
+        params: impl IntoIterator<Item = (&'static str, Type)>,
+        ret: Option<Type>,
+        body: impl IntoIterator<Item = Stmt>,
+    ) -> Self {
+        self.prog.functions.push(Function {
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|(n, ty)| Param { name: n.into(), ty })
+                .collect(),
+            ret,
+            body: body.into_iter().collect(),
+            loc: Loc::default(),
+        });
+        self
+    }
+
+    /// Finishes, renumbering loop and site ids canonically.
+    pub fn build(mut self) -> Program {
+        crate::sema::renumber(&mut self.prog);
+        self.prog
+    }
+}
+
+// ---- expressions -----------------------------------------------------
+
+/// Integer literal.
+pub fn int(v: i64) -> Expr {
+    Expr::IntLit(v)
+}
+
+/// Variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::Var { name: name.into(), site: placeholder_site(), loc: Loc::default() }
+}
+
+/// `base[index]`.
+pub fn idx(base: Expr, index: Expr) -> Expr {
+    Expr::Index {
+        base: Box::new(base),
+        index: Box::new(index),
+        site: placeholder_site(),
+        loc: Loc::default(),
+    }
+}
+
+/// `*ptr`.
+pub fn deref(ptr: Expr) -> Expr {
+    Expr::Deref { ptr: Box::new(ptr), site: placeholder_site(), loc: Loc::default() }
+}
+
+/// `&lvalue`.
+pub fn addr_of(lvalue: Expr) -> Expr {
+    Expr::AddrOf { lvalue: Box::new(lvalue), loc: Loc::default() }
+}
+
+/// Binary operation.
+pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+}
+
+/// `lhs + rhs`.
+pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Add, lhs, rhs)
+}
+
+/// `lhs - rhs`.
+pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Sub, lhs, rhs)
+}
+
+/// `lhs * rhs`.
+pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Mul, lhs, rhs)
+}
+
+/// `lhs < rhs`.
+pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+    bin(BinOp::Lt, lhs, rhs)
+}
+
+/// `target++`.
+pub fn post_inc(target: Expr) -> Expr {
+    Expr::IncDec { op: IncDec::PostInc, target: Box::new(target) }
+}
+
+/// Function call expression.
+pub fn call(name: &str, args: impl IntoIterator<Item = Expr>) -> Expr {
+    Expr::Call { name: name.into(), args: args.into_iter().collect(), loc: Loc::default() }
+}
+
+// ---- statements -----------------------------------------------------
+
+/// Scalar local declaration with initializer.
+pub fn decl(name: &str, ty: Type, init: Expr) -> Stmt {
+    Stmt::LocalDecl { name: name.into(), ty, array_len: None, init: Some(init), loc: Loc::default() }
+}
+
+/// Scalar local declaration without initializer.
+pub fn decl_uninit(name: &str, ty: Type) -> Stmt {
+    Stmt::LocalDecl { name: name.into(), ty, array_len: None, init: None, loc: Loc::default() }
+}
+
+/// Local array declaration.
+pub fn decl_array(name: &str, ty: Type, len: u32) -> Stmt {
+    Stmt::LocalDecl { name: name.into(), ty, array_len: Some(len), init: None, loc: Loc::default() }
+}
+
+/// Simple assignment `target = value;`.
+pub fn assign(target: Expr, value: Expr) -> Stmt {
+    Stmt::Assign { target, op: AssignOp::Set, value }
+}
+
+/// Compound assignment.
+pub fn assign_op(target: Expr, op: AssignOp, value: Expr) -> Stmt {
+    Stmt::Assign { target, op, value }
+}
+
+/// Expression statement.
+pub fn expr_stmt(e: Expr) -> Stmt {
+    Stmt::Expr(e)
+}
+
+/// Canonical counted loop: `for (int name = from; name < to; name++) body`.
+pub fn for_loop(name: &str, from: i64, to: i64, body: impl IntoIterator<Item = Stmt>) -> Stmt {
+    for_loop_step(name, from, to, 1, body)
+}
+
+/// Counted loop with a custom positive step.
+pub fn for_loop_step(
+    name: &str,
+    from: i64,
+    to: i64,
+    step: i64,
+    body: impl IntoIterator<Item = Stmt>,
+) -> Stmt {
+    Stmt::For {
+        id: placeholder_loop(),
+        init: Some(Box::new(decl(name, Type::Int, int(from)))),
+        cond: Some(lt(var(name), int(to))),
+        step: Some(Box::new(if step == 1 {
+            Stmt::Expr(post_inc(var(name)))
+        } else {
+            Stmt::Assign { target: var(name), op: AssignOp::Add, value: int(step) }
+        })),
+        body: body.into_iter().collect(),
+    }
+}
+
+/// `while (cond) body`.
+pub fn while_loop(cond: Expr, body: impl IntoIterator<Item = Stmt>) -> Stmt {
+    Stmt::While { id: placeholder_loop(), cond, body: body.into_iter().collect() }
+}
+
+/// `do body while (cond);`.
+pub fn do_while(body: impl IntoIterator<Item = Stmt>, cond: Expr) -> Stmt {
+    Stmt::DoWhile { id: placeholder_loop(), body: body.into_iter().collect(), cond }
+}
+
+/// `if (cond) then_blk`.
+pub fn if_stmt(cond: Expr, then_blk: impl IntoIterator<Item = Stmt>) -> Stmt {
+    Stmt::If { cond, then_blk: then_blk.into_iter().collect(), else_blk: None }
+}
+
+/// `if (cond) then_blk else else_blk`.
+pub fn if_else(
+    cond: Expr,
+    then_blk: impl IntoIterator<Item = Stmt>,
+    else_blk: impl IntoIterator<Item = Stmt>,
+) -> Stmt {
+    Stmt::If {
+        cond,
+        then_blk: then_blk.into_iter().collect(),
+        else_blk: Some(else_blk.into_iter().collect()),
+    }
+}
+
+/// `return e;`
+pub fn ret(e: Expr) -> Stmt {
+    Stmt::Return(Some(e))
+}
+
+/// `return;`
+pub fn ret_void() -> Stmt {
+    Stmt::Return(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sema::check;
+
+    #[test]
+    fn builds_checkable_program() {
+        let mut prog = program()
+            .global_array("a", Type::Int, 8)
+            .function("main", [], None, [for_loop("i", 0, 8, [
+                assign(idx(var("a"), var("i")), mul(var("i"), int(2))),
+            ])])
+            .build();
+        let info = check(&mut prog).unwrap();
+        assert_eq!(info.loops, 1);
+    }
+
+    #[test]
+    fn built_program_pretty_parses() {
+        let prog = program()
+            .global("g", Type::Int)
+            .function("main", [], None, [
+                decl("x", Type::Int, int(0)),
+                while_loop(lt(var("x"), int(4)), [
+                    assign_op(var("x"), AssignOp::Add, int(1)),
+                    assign(var("g"), var("x")),
+                ]),
+            ])
+            .build();
+        let text = crate::pretty(&prog);
+        let mut reparsed = crate::parse(&text).unwrap();
+        assert!(check(&mut reparsed).is_ok());
+    }
+
+    #[test]
+    fn builder_functions_with_params() {
+        let mut prog = program()
+            .global_array("a", Type::Int, 100)
+            .function("foo", [("offset", Type::Int)], Some(Type::Int), [
+                decl("s", Type::Int, int(0)),
+                for_loop("i", 0, 10, [
+                    assign_op(var("s"), AssignOp::Add, idx(var("a"), add(var("i"), var("offset")))),
+                ]),
+                ret(var("s")),
+            ])
+            .function("main", [], None, [
+                expr_stmt(call("foo", [int(10)])),
+            ])
+            .build();
+        assert!(check(&mut prog).is_ok());
+    }
+}

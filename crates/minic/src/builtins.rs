@@ -1,0 +1,66 @@
+//! Registry of built-in ("system library") functions.
+//!
+//! The paper's Table III splits memory activity three ways: references
+//! captured by the FORAY model, *system library* references, and everything
+//! else. These builtins are our stand-in for the C library that MiBench
+//! binaries drag in: the simulator executes them natively and tags the
+//! memory traffic they generate with instruction addresses from a dedicated
+//! library range, so the analyzer can classify it.
+
+/// Description of one builtin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Builtin {
+    /// Callable name.
+    pub name: &'static str,
+    /// Exact number of arguments.
+    pub arity: usize,
+    /// Whether the call yields a value (usable in expressions).
+    pub returns_value: bool,
+}
+
+/// All builtins known to the language.
+pub const BUILTINS: &[Builtin] = &[
+    Builtin { name: "malloc", arity: 1, returns_value: true },
+    Builtin { name: "free", arity: 1, returns_value: false },
+    Builtin { name: "memset", arity: 3, returns_value: false },
+    Builtin { name: "memcpy", arity: 3, returns_value: false },
+    Builtin { name: "print_int", arity: 1, returns_value: false },
+    Builtin { name: "input", arity: 1, returns_value: true },
+    Builtin { name: "rand", arity: 0, returns_value: true },
+    Builtin { name: "srand", arity: 1, returns_value: false },
+    Builtin { name: "abs", arity: 1, returns_value: true },
+    Builtin { name: "min", arity: 2, returns_value: true },
+    Builtin { name: "max", arity: 2, returns_value: true },
+];
+
+/// Looks up a builtin by name.
+pub fn builtin(name: &str) -> Option<&'static Builtin> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+/// Whether `name` names a builtin.
+pub fn is_builtin(name: &str) -> bool {
+    builtin(name).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        assert!(is_builtin("malloc"));
+        assert!(!is_builtin("fopen"));
+        assert_eq!(builtin("memcpy").unwrap().arity, 3);
+        assert!(builtin("rand").unwrap().returns_value);
+        assert!(!builtin("free").unwrap().returns_value);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = BUILTINS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BUILTINS.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the `minic` frontend.
+
+use crate::token::Loc;
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// A single semantic diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where the problem was detected.
+    pub loc: Loc,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.loc, self.msg)
+    }
+}
+
+/// Errors produced while lexing, parsing, or semantically checking a
+/// mini-C program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error.
+    Lex {
+        /// Location of the offending input.
+        loc: Loc,
+        /// Description.
+        msg: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Location of the offending token.
+        loc: Loc,
+        /// Description.
+        msg: String,
+    },
+    /// One or more semantic errors.
+    Sema(Vec<Diagnostic>),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { loc, msg } => write!(f, "lex error at {loc}: {msg}"),
+            Error::Parse { loc, msg } => write!(f, "parse error at {loc}: {msg}"),
+            Error::Sema(diags) => {
+                write!(f, "semantic errors:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Lex { loc: Loc::new(1, 2), msg: "bad".into() };
+        assert_eq!(e.to_string(), "lex error at 1:2: bad");
+        let e = Error::Sema(vec![Diagnostic { loc: Loc::new(3, 4), msg: "undefined x".into() }]);
+        assert!(e.to_string().contains("3:4: undefined x"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Hand-written lexer for mini-C.
+//!
+//! Supports `//` and `/* */` comments, decimal and hexadecimal integer
+//! literals, and character literals with the common escapes.
+
+use crate::error::{Error, Result};
+use crate::token::{Keyword, Loc, Token, TokenKind};
+
+/// Lexes an entire source string into a token vector terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on unterminated comments or character literals,
+/// malformed numbers, or characters outside the language's alphabet.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minic::Error> {
+/// let toks = minic::lex("x += 0x10; // bump")?;
+/// assert_eq!(toks.len(), 5); // x, +=, 16, ;, eof
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn loc(&self) -> Loc {
+        Loc::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Lex { loc: self.loc(), msg: msg.into() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let loc = self.loc();
+            let Some(c) = self.peek() else {
+                out.push(Token::new(TokenKind::Eof, loc));
+                return Ok(out);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_kw(),
+                b'\'' => self.char_lit()?,
+                _ => self.operator()?,
+            };
+            out.push(Token::new(kind, loc));
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.loc();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error::Lex {
+                                    loc: start,
+                                    msg: "unterminated block comment".into(),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let mut value: i64 = 0;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
+            self.bump();
+            self.bump();
+            let mut any = false;
+            while let Some(c) = self.peek() {
+                let digit = match c {
+                    b'0'..=b'9' => (c - b'0') as i64,
+                    b'a'..=b'f' => (c - b'a' + 10) as i64,
+                    b'A'..=b'F' => (c - b'A' + 10) as i64,
+                    _ => break,
+                };
+                any = true;
+                value = value
+                    .checked_mul(16)
+                    .and_then(|v| v.checked_add(digit))
+                    .ok_or_else(|| self.err("hex literal overflows i64"))?;
+                self.bump();
+            }
+            if !any {
+                return Err(self.err("hex literal needs at least one digit"));
+            }
+        } else {
+            while let Some(c @ b'0'..=b'9') = self.peek() {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add((c - b'0') as i64))
+                    .ok_or_else(|| self.err("decimal literal overflows i64"))?;
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+            return Err(self.err("identifier character directly after number"));
+        }
+        Ok(TokenKind::IntLit(value))
+    }
+
+    fn ident_or_kw(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') = self.peek() {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn char_lit(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => match self.bump() {
+                Some(b'n') => b'\n',
+                Some(b't') => b'\t',
+                Some(b'r') => b'\r',
+                Some(b'0') => 0,
+                Some(b'\\') => b'\\',
+                Some(b'\'') => b'\'',
+                other => {
+                    return Err(self.err(format!(
+                        "unsupported escape: \\{}",
+                        other.map(|c| c as char).unwrap_or('?')
+                    )));
+                }
+            },
+            Some(b'\'') => return Err(self.err("empty character literal")),
+            Some(c) => c,
+            None => return Err(self.err("unterminated character literal")),
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.err("character literal must be a single character"));
+        }
+        Ok(TokenKind::CharLit(c))
+    }
+
+    fn operator(&mut self) -> Result<TokenKind> {
+        let c = self.bump().expect("caller checked non-empty");
+        let two = |lexer: &mut Self, next: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'?' => TokenKind::Question,
+            b':' => TokenKind::Colon,
+            b'~' => TokenKind::Tilde,
+            b'^' => TokenKind::Caret,
+            b'+' => match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::PlusAssign
+                }
+                _ => TokenKind::Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                _ => TokenKind::Minus,
+            },
+            b'*' => two(self, b'=', TokenKind::StarAssign, TokenKind::Star),
+            b'/' => two(self, b'=', TokenKind::SlashAssign, TokenKind::Slash),
+            b'%' => two(self, b'=', TokenKind::PercentAssign, TokenKind::Percent),
+            b'&' => two(self, b'&', TokenKind::AmpAmp, TokenKind::Amp),
+            b'|' => two(self, b'|', TokenKind::PipePipe, TokenKind::Pipe),
+            b'!' => two(self, b'=', TokenKind::BangEq, TokenKind::Bang),
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Le
+                }
+                Some(b'<') => {
+                    self.bump();
+                    TokenKind::Shl
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Ge
+                }
+                Some(b'>') => {
+                    self.bump();
+                    TokenKind::Shr
+                }
+                _ => TokenKind::Gt,
+            },
+            other => {
+                return Err(self.err(format!("unexpected character {:?}", other as char)));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_figure4_statement() {
+        // `*ptr++ = i*i % 256;` — the key idiom from the paper's Fig 4(a).
+        let k = kinds("*ptr++ = i*i % 256;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Star,
+                TokenKind::Ident("ptr".into()),
+                TokenKind::PlusPlus,
+                TokenKind::Assign,
+                TokenKind::Ident("i".into()),
+                TokenKind::Star,
+                TokenKind::Ident("i".into()),
+                TokenKind::Percent,
+                TokenKind::IntLit(256),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_and_decimal() {
+        assert_eq!(kinds("0x10 0XfF 42"), vec![
+            TokenKind::IntLit(16),
+            TokenKind::IntLit(255),
+            TokenKind::IntLit(42),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a // line\n /* block\n over lines */ b");
+        assert_eq!(k, vec![
+            TokenKind::Ident("a".into()),
+            TokenKind::Ident("b".into()),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds(r"'a' '\n' '\0'"), vec![
+            TokenKind::CharLit(b'a'),
+            TokenKind::CharLit(b'\n'),
+            TokenKind::CharLit(0),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn location_tracking() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].loc, Loc::new(1, 1));
+        assert_eq!(toks[1].loc, Loc::new(2, 3));
+    }
+
+    #[test]
+    fn compound_operators() {
+        let k = kinds("<<= is not a token, but << = are");
+        // `<<=` lexes as `<<` `=` in this grammar (no shift-assign).
+        assert_eq!(k[0], TokenKind::Shl);
+        assert_eq!(k[1], TokenKind::Assign);
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'ab'").is_err());
+        assert!(lex("99999999999999999999").is_err());
+        assert!(lex("12abc").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("for forever"), vec![
+            TokenKind::Kw(Keyword::For),
+            TokenKind::Ident("forever".into()),
+            TokenKind::Eof
+        ]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Source-size metrics, feeding Table I's "Number of lines" column.
+
+/// Line-count metrics for a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineCounts {
+    /// Physical lines, as an editor would report.
+    pub total: usize,
+    /// Lines that contain code (not blank, not comment-only).
+    pub code: usize,
+    /// Lines that are blank or whitespace-only.
+    pub blank: usize,
+    /// Lines containing only comments.
+    pub comment: usize,
+}
+
+/// Counts lines in mini-C source text.
+///
+/// # Examples
+///
+/// ```
+/// let counts = minic::count_lines("int x;\n\n// note\nvoid main() { }\n");
+/// assert_eq!(counts.total, 4);
+/// assert_eq!(counts.code, 2);
+/// assert_eq!(counts.blank, 1);
+/// assert_eq!(counts.comment, 1);
+/// ```
+pub fn count_lines(src: &str) -> LineCounts {
+    let mut counts = LineCounts::default();
+    let mut in_block_comment = false;
+    for line in src.lines() {
+        counts.total += 1;
+        let classified = classify(line, &mut in_block_comment);
+        match classified {
+            LineClass::Blank => counts.blank += 1,
+            LineClass::Comment => counts.comment += 1,
+            LineClass::Code => counts.code += 1,
+        }
+    }
+    counts
+}
+
+enum LineClass {
+    Blank,
+    Comment,
+    Code,
+}
+
+fn classify(line: &str, in_block: &mut bool) -> LineClass {
+    let mut has_code = false;
+    let mut has_comment = *in_block;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block {
+            has_comment = true;
+            if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            has_comment = true;
+            break;
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            has_comment = true;
+            *in_block = true;
+            i += 2;
+        } else {
+            if !bytes[i].is_ascii_whitespace() {
+                has_code = true;
+            }
+            i += 1;
+        }
+    }
+    if has_code {
+        LineClass::Code
+    } else if has_comment {
+        LineClass::Comment
+    } else {
+        LineClass::Blank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_line_is_code() {
+        let c = count_lines("x = 1; // trailing\n");
+        assert_eq!(c.code, 1);
+        assert_eq!(c.comment, 0);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let c = count_lines("/* one\n   two\n   three */\nint x;\n");
+        assert_eq!(c.comment, 3);
+        assert_eq!(c.code, 1);
+    }
+
+    #[test]
+    fn code_after_block_close_counts() {
+        let c = count_lines("/* c */ int x;\n");
+        assert_eq!(c.code, 1);
+    }
+
+    #[test]
+    fn empty_source() {
+        assert_eq!(count_lines(""), LineCounts::default());
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let src = "int a;\n\n// c\n/* b\n*/\nint d;\n";
+        let c = count_lines(src);
+        assert_eq!(c.total, c.code + c.blank + c.comment);
+        assert_eq!(c.total, 6);
+    }
+}

@@ -1,0 +1,701 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! Grammar summary (C subset):
+//!
+//! ```text
+//! program     := (global | function)*
+//! global      := type ident ('[' int ']')? ('=' init)? ';'
+//! function    := (type | 'void') ident '(' params? ')' block
+//! block       := '{' stmt* '}'
+//! stmt        := decl | assign | exprstmt | if | while | do | for
+//!              | return | break | continue | block | ';'
+//! assign      := lvalue ('='|'+='|'-='|'*='|'/='|'%=') expr ';'
+//! expr        := ternary with C precedence, pointer arithmetic,
+//!                '*' deref, '&' addr-of, calls, ++/--
+//! ```
+//!
+//! Loops receive sequential [`LoopId`]s and every potential memory-access
+//! expression receives a sequential [`SiteId`]; both are re-canonicalized by
+//! [`crate::sema::check`].
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::lex;
+use crate::token::{Keyword, Loc, Token, TokenKind};
+
+/// Parses a full mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] or [`Error::Parse`] on malformed input. Semantic
+/// validation is separate: see [`crate::sema::check`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minic::Error> {
+/// let prog = minic::parse("int a[8]; void main() { a[0] = 1; }")?;
+/// assert_eq!(prog.globals.len(), 1);
+/// assert_eq!(prog.functions.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_loop: u32,
+    next_site: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, next_loop: 0, next_site: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn loc(&self) -> Loc {
+        self.tokens[self.pos].loc
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse { loc: self.loc(), msg: msg.into() }
+    }
+
+    fn fresh_loop(&mut self) -> LoopId {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        id
+    }
+
+    fn fresh_site(&mut self) -> SiteId {
+        let id = SiteId(self.next_site);
+        self.next_site += 1;
+        id
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    // ---- types ------------------------------------------------------
+
+    fn peek_is_type(&self) -> bool {
+        matches!(self.peek(), TokenKind::Kw(Keyword::Int | Keyword::Char))
+    }
+
+    /// Parses `int`/`char` followed by any number of `*`s.
+    fn ty(&mut self) -> Result<Type> {
+        let base = match self.bump() {
+            TokenKind::Kw(Keyword::Int) => Type::Int,
+            TokenKind::Kw(Keyword::Char) => Type::Char,
+            other => return Err(self.err(format!("expected type, found `{other}`"))),
+        };
+        let mut ty = base;
+        while self.eat(&TokenKind::Star) {
+            ty = Type::ptr_to(ty);
+        }
+        Ok(ty)
+    }
+
+    // ---- top level ----------------------------------------------------
+
+    fn program(mut self) -> Result<Program> {
+        let mut prog = Program::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            let loc = self.loc();
+            if self.eat(&TokenKind::Kw(Keyword::Void)) {
+                let name = self.ident()?;
+                prog.functions.push(self.function(name, None, loc)?);
+                continue;
+            }
+            if !self.peek_is_type() {
+                return Err(self.err(format!(
+                    "expected declaration or function, found `{}`",
+                    self.peek()
+                )));
+            }
+            let ty = self.ty()?;
+            let name = self.ident()?;
+            if matches!(self.peek(), TokenKind::LParen) {
+                prog.functions.push(self.function(name, Some(ty), loc)?);
+            } else {
+                prog.globals.push(self.global(name, ty, loc)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self, name: String, ty: Type, loc: Loc) -> Result<GlobalDecl> {
+        let mut array_len = None;
+        if self.eat(&TokenKind::LBracket) {
+            array_len = Some(self.array_size()?);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        let mut init = Vec::new();
+        if self.eat(&TokenKind::Assign) {
+            if self.eat(&TokenKind::LBrace) {
+                loop {
+                    init.push(self.const_int()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+            } else {
+                init.push(self.const_int()?);
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(GlobalDecl { name, ty, array_len, init, loc })
+    }
+
+    fn array_size(&mut self) -> Result<u32> {
+        let v = self.const_int()?;
+        u32::try_from(v).map_err(|_| self.err("array size must fit in u32"))
+    }
+
+    /// A constant integer expression: literal, possibly negated.
+    fn const_int(&mut self) -> Result<i64> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.bump() {
+            TokenKind::IntLit(v) => Ok(if neg { -v } else { v }),
+            TokenKind::CharLit(c) => Ok(if neg { -(c as i64) } else { c as i64 }),
+            other => Err(self.err(format!("expected integer constant, found `{other}`"))),
+        }
+    }
+
+    fn function(&mut self, name: String, ret: Option<Type>, loc: Loc) -> Result<Function> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.ty()?;
+                let pname = self.ident()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, ret, body, loc })
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            TokenKind::Kw(Keyword::Int | Keyword::Char) => {
+                let s = self.local_decl()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+            TokenKind::Kw(Keyword::If) => self.if_stmt(),
+            TokenKind::Kw(Keyword::While) => self.while_stmt(),
+            TokenKind::Kw(Keyword::Do) => self.do_stmt(),
+            TokenKind::Kw(Keyword::For) => self.for_stmt(),
+            TokenKind::Kw(Keyword::Return) => {
+                self.bump();
+                let value =
+                    if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Kw(Keyword::Break) => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Kw(Keyword::Continue) => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Block::new()))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn local_decl(&mut self) -> Result<Stmt> {
+        let loc = self.loc();
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        let mut array_len = None;
+        if self.eat(&TokenKind::LBracket) {
+            array_len = Some(self.array_size()?);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        let init = if self.eat(&TokenKind::Assign) {
+            if array_len.is_some() {
+                return Err(self.err("local arrays cannot have initializers"));
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::LocalDecl { name, ty, array_len, init, loc })
+    }
+
+    /// An assignment or expression statement, without the trailing `;`
+    /// (shared by statement position and `for` init/step slots).
+    fn simple_stmt(&mut self) -> Result<Stmt> {
+        let expr = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Assign => AssignOp::Set,
+            TokenKind::PlusAssign => AssignOp::Add,
+            TokenKind::MinusAssign => AssignOp::Sub,
+            TokenKind::StarAssign => AssignOp::Mul,
+            TokenKind::SlashAssign => AssignOp::Div,
+            TokenKind::PercentAssign => AssignOp::Rem,
+            _ => return Ok(Stmt::Expr(expr)),
+        };
+        if !expr.is_lvalue() {
+            return Err(self.err("left-hand side of assignment is not an lvalue"));
+        }
+        self.bump();
+        let value = self.expr()?;
+        Ok(Stmt::Assign { target: expr, op, value })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        self.bump();
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_blk = self.stmt_as_block()?;
+        let else_blk = if self.eat(&TokenKind::Kw(Keyword::Else)) {
+            Some(self.stmt_as_block()?)
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_blk, else_blk })
+    }
+
+    /// Parses either a braced block or a single statement wrapped in a block,
+    /// so loop/if bodies are uniformly [`Block`]s.
+    fn stmt_as_block(&mut self) -> Result<Block> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(Block { stmts: vec![self.stmt()?] })
+        }
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt> {
+        self.bump();
+        let id = self.fresh_loop();
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::While { id, cond, body })
+    }
+
+    fn do_stmt(&mut self) -> Result<Stmt> {
+        self.bump();
+        let id = self.fresh_loop();
+        let body = self.stmt_as_block()?;
+        self.expect(&TokenKind::Kw(Keyword::While))?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::DoWhile { id, body, cond })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        self.bump();
+        let id = self.fresh_loop();
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else {
+            let s = if self.peek_is_type() { self.local_decl()? } else { self.simple_stmt()? };
+            self.expect(&TokenKind::Semi)?;
+            Some(Box::new(s))
+        };
+        let cond = if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
+        self.expect(&TokenKind::Semi)?;
+        let step = if matches!(self.peek(), TokenKind::RParen) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::For { id, init, cond, step, body })
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let els = self.ternary()?;
+            Ok(Expr::Cond { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+        // Higher binds tighter; mirrors C precedence.
+        Some(match kind {
+            TokenKind::PipePipe => (BinOp::Or, 1),
+            TokenKind::AmpAmp => (BinOp::And, 2),
+            TokenKind::Pipe => (BinOp::BitOr, 3),
+            TokenKind::Caret => (BinOp::BitXor, 4),
+            TokenKind::Amp => (BinOp::BitAnd, 5),
+            TokenKind::EqEq => (BinOp::Eq, 6),
+            TokenKind::BangEq => (BinOp::Ne, 6),
+            TokenKind::Lt => (BinOp::Lt, 7),
+            TokenKind::Le => (BinOp::Le, 7),
+            TokenKind::Gt => (BinOp::Gt, 7),
+            TokenKind::Ge => (BinOp::Ge, 7),
+            TokenKind::Shl => (BinOp::Shl, 8),
+            TokenKind::Shr => (BinOp::Shr, 8),
+            TokenKind::Plus => (BinOp::Add, 9),
+            TokenKind::Minus => (BinOp::Sub, 9),
+            TokenKind::Star => (BinOp::Mul, 10),
+            TokenKind::Slash => (BinOp::Div, 10),
+            TokenKind::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op_of(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let loc = self.loc();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.unary()?) })
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(self.unary()?) })
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::BitNot, expr: Box::new(self.unary()?) })
+            }
+            TokenKind::Star => {
+                self.bump();
+                let site = self.fresh_site();
+                let inner = self.unary()?;
+                Ok(Expr::Deref { ptr: Box::new(inner), site, loc })
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let lvalue = self.unary()?;
+                if !lvalue.is_lvalue() {
+                    return Err(self.err("`&` requires an lvalue operand"));
+                }
+                Ok(Expr::AddrOf { lvalue: Box::new(lvalue), loc })
+            }
+            TokenKind::PlusPlus => {
+                self.bump();
+                let target = self.unary()?;
+                if !target.is_lvalue() {
+                    return Err(self.err("`++` requires an lvalue operand"));
+                }
+                Ok(Expr::IncDec { op: IncDec::PreInc, target: Box::new(target) })
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                let target = self.unary()?;
+                if !target.is_lvalue() {
+                    return Err(self.err("`--` requires an lvalue operand"));
+                }
+                Ok(Expr::IncDec { op: IncDec::PreDec, target: Box::new(target) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut expr = self.primary()?;
+        loop {
+            let loc = self.loc();
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let site = self.fresh_site();
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(index),
+                        site,
+                        loc,
+                    };
+                }
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    if !expr.is_lvalue() {
+                        return Err(self.err("`++` requires an lvalue operand"));
+                    }
+                    expr = Expr::IncDec { op: IncDec::PostInc, target: Box::new(expr) };
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    if !expr.is_lvalue() {
+                        return Err(self.err("`--` requires an lvalue operand"));
+                    }
+                    expr = Expr::IncDec { op: IncDec::PostDec, target: Box::new(expr) };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let loc = self.loc();
+        match self.bump() {
+            TokenKind::IntLit(v) => Ok(Expr::IntLit(v)),
+            TokenKind::CharLit(c) => Ok(Expr::IntLit(c as i64)),
+            TokenKind::Ident(name) => {
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    Ok(Expr::Call { name, args, loc })
+                } else {
+                    let site = self.fresh_site();
+                    Ok(Expr::Var { name, site, loc })
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(Error::Parse {
+                loc,
+                msg: format!("expected expression, found `{other}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG4A: &str = r#"
+        char q[10000];
+        char *ptr;
+        void main() {
+            int i;
+            int t1 = 98;
+            ptr = q;
+            while (t1 < 100) {
+                t1++;
+                ptr += 100;
+                for (i = 40; i > 37; i--) {
+                    *ptr++ = i * i % 256;
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_figure4() {
+        let prog = parse(FIG4A).unwrap();
+        assert_eq!(prog.globals.len(), 2);
+        assert_eq!(prog.functions.len(), 1);
+        assert_eq!(prog.loop_count(), 2);
+    }
+
+    #[test]
+    fn loop_ids_sequential() {
+        let prog = parse("void main(){ while(1){} do {} while(0); for(;;){} }").unwrap();
+        let mut ids = Vec::new();
+        prog.visit_stmts(&mut |s| {
+            if let Some(id) = s.loop_id() {
+                ids.push(id);
+            }
+        });
+        assert_eq!(ids, vec![LoopId(0), LoopId(1), LoopId(2)]);
+    }
+
+    #[test]
+    fn precedence() {
+        let prog = parse("void main(){ int x; x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Assign { value, .. } = &prog.functions[0].body.stmts[1] else {
+            panic!("expected assignment");
+        };
+        // 1 + (2 * 3)
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else { panic!("expected add") };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn pointer_walk_statement() {
+        let prog = parse("char *p; void main(){ *p++ = 1; }").unwrap();
+        let Stmt::Assign { target, .. } = &prog.functions[0].body.stmts[0] else {
+            panic!("expected assignment");
+        };
+        // *(p++) — deref of post-increment.
+        let Expr::Deref { ptr, .. } = target else { panic!("expected deref") };
+        assert!(matches!(**ptr, Expr::IncDec { op: IncDec::PostInc, .. }));
+    }
+
+    #[test]
+    fn for_with_decl_init() {
+        let prog = parse("void main(){ for (int i = 0; i < 4; i++) {} }").unwrap();
+        let Stmt::For { init, cond, step, .. } = &prog.functions[0].body.stmts[0] else {
+            panic!("expected for");
+        };
+        assert!(matches!(init.as_deref(), Some(Stmt::LocalDecl { .. })));
+        assert!(cond.is_some());
+        assert!(matches!(
+            step.as_deref(),
+            Some(Stmt::Expr(Expr::IncDec { op: IncDec::PostInc, .. }))
+        ));
+    }
+
+    #[test]
+    fn global_array_with_init() {
+        let prog = parse("int tab[4] = { 1, 2, 3, 4 }; void main(){}").unwrap();
+        assert_eq!(prog.globals[0].init, vec![1, 2, 3, 4]);
+        assert_eq!(prog.globals[0].array_len, Some(4));
+    }
+
+    #[test]
+    fn ternary_and_calls() {
+        let prog = parse("int f(int x){ return x ? f(x-1) : 0; } void main(){ f(3); }");
+        assert!(prog.is_ok());
+    }
+
+    #[test]
+    fn single_statement_bodies() {
+        let prog = parse("void main(){ int s; for(int i=0;i<3;i++) s += i; if (s) s = 0; }");
+        assert!(prog.is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_lvalues() {
+        assert!(parse("void main(){ 1 = 2; }").is_err());
+        assert!(parse("void main(){ int x; &1; }").is_err());
+        assert!(parse("void main(){ (1+2)++; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert!(parse("void main(){ ").is_err());
+        assert!(parse("int x").is_err());
+    }
+
+    #[test]
+    fn site_ids_are_distinct() {
+        let prog = parse("int a[4]; void main(){ a[0] = a[1] + a[2]; }").unwrap();
+        let mut sites = Vec::new();
+        prog.visit_exprs(&mut |e| {
+            if let Expr::Index { site, .. } = e {
+                sites.push(*site);
+            }
+        });
+        assert_eq!(sites.len(), 3);
+        sites.dedup();
+        assert_eq!(sites.len(), 3);
+    }
+
+    #[test]
+    fn pointer_types_parse() {
+        let prog = parse("int **pp; void main(){}").unwrap();
+        assert_eq!(prog.globals[0].ty, Type::ptr_to(Type::ptr_to(Type::Int)));
+    }
+
+    #[test]
+    fn empty_statement() {
+        assert!(parse("void main(){ ;;; }").is_ok());
+    }
+}

@@ -1,0 +1,249 @@
+//! Token definitions for the mini-C lexer.
+//!
+//! The token set covers the C subset exercised by the FORAY-GEN paper's
+//! examples and benchmarks: integer/char literals, identifiers, the loop
+//! keywords (`for`, `while`, `do`), pointers and address arithmetic, and the
+//! usual operator zoo including pre/post increment (needed for the
+//! `*ptr++ = v` idiom of Fig. 1/4).
+
+use std::fmt;
+
+/// A source location: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Loc {
+    /// Creates a location from 1-based line and column numbers.
+    pub fn new(line: u32, col: u32) -> Self {
+        Loc { line, col }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords recognized by the lexer, named after their C spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Int,
+    Char,
+    Void,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Return,
+    Break,
+    Continue,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling. (Not the `FromStr`
+    /// trait: lookup failure is an expected `None`, not an error.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "char" => Keyword::Char,
+            "void" => Keyword::Void,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::Char => "char",
+            Keyword::Void => "void",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+        }
+    }
+}
+
+/// The kind of a lexed token. Punctuation/operator variants carry no
+/// payload and are named after their C spelling (see the `Display` impl).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    /// Integer literal (decimal or `0x` hex).
+    IntLit(i64),
+    /// Character literal such as `'a'`, valued as its byte.
+    CharLit(u8),
+    /// Identifier.
+    Ident(String),
+    /// Reserved keyword.
+    Kw(Keyword),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::CharLit(c) => write!(f, "'{}'", *c as char),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Kw(k) => write!(f, "{}", k.as_str()),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Amp => write!(f, "&"),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Caret => write!(f, "^"),
+            TokenKind::Tilde => write!(f, "~"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::BangEq => write!(f, "!="),
+            TokenKind::AmpAmp => write!(f, "&&"),
+            TokenKind::PipePipe => write!(f, "||"),
+            TokenKind::Shl => write!(f, "<<"),
+            TokenKind::Shr => write!(f, ">>"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::PlusAssign => write!(f, "+="),
+            TokenKind::MinusAssign => write!(f, "-="),
+            TokenKind::StarAssign => write!(f, "*="),
+            TokenKind::SlashAssign => write!(f, "/="),
+            TokenKind::PercentAssign => write!(f, "%="),
+            TokenKind::PlusPlus => write!(f, "++"),
+            TokenKind::MinusMinus => write!(f, "--"),
+            TokenKind::Question => write!(f, "?"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub loc: Loc,
+}
+
+impl Token {
+    /// Creates a token at a location.
+    pub fn new(kind: TokenKind, loc: Loc) -> Self {
+        Token { kind, loc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Int,
+            Keyword::Char,
+            Keyword::Void,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::For,
+            Keyword::While,
+            Keyword::Do,
+            Keyword::Return,
+            Keyword::Break,
+            Keyword::Continue,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("loop"), None);
+    }
+
+    #[test]
+    fn display_covers_operators() {
+        assert_eq!(TokenKind::PlusPlus.to_string(), "++");
+        assert_eq!(TokenKind::Shl.to_string(), "<<");
+        assert_eq!(TokenKind::Ident("ptr".into()).to_string(), "ptr");
+        assert_eq!(TokenKind::IntLit(42).to_string(), "42");
+    }
+
+    #[test]
+    fn loc_display() {
+        assert_eq!(Loc::new(3, 14).to_string(), "3:14");
+    }
+}

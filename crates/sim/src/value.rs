@@ -1,0 +1,128 @@
+//! Runtime values.
+//!
+//! The simulator is dynamically typed: a value is either an integer or a
+//! typed pointer. Pointers carry their pointee type so pointer arithmetic
+//! scales correctly (`char*` steps by 1 byte, `int*` by 4) — the mechanism
+//! behind the paper's Fig. 4 example, where `ptr += 100` advances 100 bytes
+//! and the resulting affine coefficient over the outer `while` iterator
+//! becomes 103.
+
+use minic::Type;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Integer (also carries chars and booleans).
+    Int(i64),
+    /// Typed pointer into the simulated address space.
+    Ptr {
+        /// Byte address.
+        addr: u32,
+        /// Pointee type, used to scale arithmetic and type loads.
+        pointee: Type,
+    },
+}
+
+impl Value {
+    /// The canonical null/zero value.
+    pub fn zero() -> Value {
+        Value::Int(0)
+    }
+
+    /// Makes a typed pointer.
+    pub fn ptr(addr: u32, pointee: Type) -> Value {
+        Value::Ptr { addr, pointee }
+    }
+
+    /// Numeric view: pointers expose their address.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Ptr { addr, .. } => *addr as i64,
+        }
+    }
+
+    /// C truthiness.
+    pub fn is_truthy(&self) -> bool {
+        self.as_int() != 0
+    }
+
+    /// Coerces the value into a declared type: pointers are re-tagged to the
+    /// declared pointee, integers assigned to pointer slots become pointers
+    /// (C's implicit int↔pointer traffic, needed for `int *p = malloc(n)`),
+    /// and integers assigned to scalar slots stay integers.
+    pub fn coerce_to(self, ty: &Type) -> Value {
+        match ty {
+            Type::Ptr(pointee) => Value::Ptr {
+                addr: self.as_int() as u32,
+                pointee: (**pointee).clone(),
+            },
+            Type::Int => Value::Int(self.as_int() as i32 as i64),
+            Type::Char => Value::Int(self.as_int() as u8 as i64),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ptr { addr, pointee } => write!(f, "({pointee}*)0x{addr:x}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_view_of_pointer() {
+        let p = Value::ptr(0x1000, Type::Char);
+        assert_eq!(p.as_int(), 0x1000);
+        assert!(p.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+    }
+
+    #[test]
+    fn coercion_retags_pointers() {
+        let p = Value::ptr(0x1000, Type::Char);
+        let q = p.coerce_to(&Type::ptr_to(Type::Int));
+        assert_eq!(q, Value::ptr(0x1000, Type::Int));
+    }
+
+    #[test]
+    fn coercion_int_to_pointer_and_back() {
+        let v = Value::Int(0x4000_0000);
+        let p = v.coerce_to(&Type::ptr_to(Type::Char));
+        assert_eq!(p, Value::ptr(0x4000_0000, Type::Char));
+        assert_eq!(p.coerce_to(&Type::Int), Value::Int(0x4000_0000));
+    }
+
+    #[test]
+    fn coercion_truncates_char() {
+        assert_eq!(Value::Int(300).coerce_to(&Type::Char), Value::Int(44));
+        assert_eq!(Value::Int(-1).coerce_to(&Type::Char), Value::Int(255));
+    }
+
+    #[test]
+    fn coercion_wraps_int32() {
+        assert_eq!(
+            Value::Int(0x1_0000_0001).coerce_to(&Type::Int),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::ptr(0xff, Type::Int).to_string(), "(int*)0xff");
+    }
+}

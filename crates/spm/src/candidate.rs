@@ -1,0 +1,272 @@
+//! Data-reuse analysis over FORAY models — the analysis step of the
+//! paper's Phase II (its Fig. 3 call-out, steps 1–2, in the style of the
+//! paper's ref \[5\], Issenin et al., DATE 2004).
+//!
+//! For every model reference and every loop level `L` of its nest, a
+//! *buffer candidate* captures "hold everything the innermost `L` loops
+//! touch in the scratch pad, refill once per iteration of loop `L+1`". The
+//! affine expression gives the buffer size and fill traffic analytically;
+//! the trip counts give the activation counts.
+
+use crate::energy::EnergyModel;
+use foray::{ForayModel, ModelRef};
+
+/// One (reference, level) buffering option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferCandidate {
+    /// Index of the reference in the model's `refs`.
+    pub ref_idx: usize,
+    /// Array name (diagnostic).
+    pub array: String,
+    /// Buffer covers iterators `1..=level`.
+    pub level: u32,
+    /// Buffer size in bytes (affine span of the covered iterators).
+    pub size_bytes: u32,
+    /// Accesses served from the SPM over the whole run (= executions).
+    pub spm_accesses: u64,
+    /// Words copied from main memory over the whole run (fills), in
+    /// element units.
+    pub fill_elems: u64,
+    /// Words copied back (only for written references).
+    pub writeback_elems: u64,
+    /// How often the buffer is (re)filled.
+    pub activations: u64,
+    /// Estimated element width in bytes.
+    pub elem_bytes: u32,
+}
+
+impl BufferCandidate {
+    /// Reuse factor: SPM hits per element moved from main memory.
+    pub fn reuse_factor(&self) -> f64 {
+        let moved = self.fill_elems + self.writeback_elems;
+        if moved == 0 {
+            0.0
+        } else {
+            self.spm_accesses as f64 / moved as f64
+        }
+    }
+
+    /// Energy saved by adopting this buffer (can be negative).
+    ///
+    /// Without the buffer every access goes to main memory; with it, every
+    /// access hits the SPM and each fill/writeback element costs one main
+    /// access plus one SPM access.
+    pub fn savings_nj(&self, energy: &EnergyModel) -> f64 {
+        let spm = energy.spm_access_nj(self.size_bytes);
+        let without = energy.main_nj(self.spm_accesses);
+        let moved = self.fill_elems + self.writeback_elems;
+        let with = self.spm_accesses as f64 * spm
+            + energy.main_nj(moved)
+            + moved as f64 * spm;
+        without - with
+    }
+}
+
+/// Estimated element width: the gcd of the coefficients, clamped to
+/// 1/2/4 bytes (byte-strided references are char-like, 4-strided are
+/// int-like).
+fn elem_bytes(r: &ModelRef) -> u32 {
+    let mut g: u64 = 0;
+    for t in &r.terms {
+        g = gcd(g, t.coeff.unsigned_abs());
+    }
+    match g {
+        0 | 1 => 1,
+        2..=3 => 2,
+        _ => 4,
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Enumerates buffer candidates for one reference.
+///
+/// Levels run from 1 (innermost loop only) to the reference's window `M`
+/// (outer levels beyond the window have unpredictable constants, so a
+/// buffer spanning them cannot be preloaded — exactly the paper's point
+/// about partial expressions still enabling analysis "on a limited number
+/// of loops").
+pub fn candidates_for(ref_idx: usize, r: &ModelRef, model: &ForayModel) -> Vec<BufferCandidate> {
+    let elem = elem_bytes(r);
+    let mut out = Vec::new();
+    // Trip counts innermost-first along the reference's nest.
+    let trips: Vec<u64> =
+        r.node_path.iter().map(|n| model.loops[n].trip.max(1)).collect();
+    let total_execs = r.execs;
+    for level in 1..=r.window.min(r.nest) {
+        // Affine span of iterators 1..=level.
+        let mut span: u64 = 0;
+        for t in &r.terms {
+            if t.level <= level {
+                let trip = trips.get(t.level as usize - 1).copied().unwrap_or(1);
+                span += t.coeff.unsigned_abs() * (trip.saturating_sub(1));
+            }
+        }
+        let size_bytes = span + elem as u64;
+        if size_bytes > u32::MAX as u64 {
+            continue;
+        }
+        // One activation per iteration of the loops outside `level`.
+        let inner_iters: u64 = trips.iter().take(level as usize).product();
+        let activations = (total_execs / inner_iters.max(1)).max(1);
+        let fill_elems = activations * (size_bytes / elem as u64).max(1);
+        let writeback_elems = if r.writes > 0 { fill_elems } else { 0 };
+        out.push(BufferCandidate {
+            ref_idx,
+            array: r.array_name(),
+            level,
+            size_bytes: size_bytes as u32,
+            spm_accesses: total_execs,
+            fill_elems,
+            writeback_elems,
+            activations,
+            elem_bytes: elem,
+        });
+    }
+    out
+}
+
+/// Enumerates candidates for every reference of a model, dropping options
+/// that move more data than they serve (reuse factor ≤ 1).
+pub fn enumerate(model: &ForayModel) -> Vec<BufferCandidate> {
+    let mut out = Vec::new();
+    for (i, r) in model.refs.iter().enumerate() {
+        out.extend(
+            candidates_for(i, r, model).into_iter().filter(|c| c.reuse_factor() > 1.0),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foray::{analyze, FilterConfig};
+    use minic::CheckpointKind::{BodyBegin as BB, BodyEnd as BE, LoopBegin as LB};
+    use minic_trace::{AccessKind, Record};
+
+    /// Classic reuse nest: the inner row is rescanned by the outer loop.
+    /// a[4*i] with i in 0..16, re-read for each of 32 outer iterations.
+    fn rescan_model() -> ForayModel {
+        let mut t = Vec::new();
+        t.push(Record::checkpoint(0, LB));
+        for _j in 0..32u32 {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::checkpoint(1, LB));
+            for i in 0..16u32 {
+                t.push(Record::checkpoint(1, BB));
+                t.push(Record::access(0x400000, 0x1000 + 4 * i, AccessKind::Read));
+                t.push(Record::checkpoint(1, BE));
+            }
+            t.push(Record::checkpoint(0, BE));
+        }
+        ForayModel::extract(&analyze(&t), &FilterConfig::default())
+    }
+
+    #[test]
+    fn rescan_candidate_has_high_reuse() {
+        let model = rescan_model();
+        assert_eq!(model.ref_count(), 1);
+        let cands = enumerate(&model);
+        // Level 1 buffer: 61 bytes span + 4 → 64 bytes... but the outer
+        // coefficient is 0, so the level-1 buffer is refilled 32 times
+        // while the data never changes. Reuse = 512 / (32*16) = 1 → the
+        // naive level-1 option is filtered; level 2 (whole nest) keeps
+        // reuse 512/16 = 32.
+        assert_eq!(cands.len(), 1, "{cands:#?}");
+        let c = &cands[0];
+        assert_eq!(c.level, 2);
+        assert_eq!(c.size_bytes, 64);
+        assert_eq!(c.spm_accesses, 512);
+        assert_eq!(c.activations, 1);
+        assert_eq!(c.fill_elems, 16);
+        assert!((c.reuse_factor() - 32.0).abs() < 1e-9);
+        assert!(c.savings_nj(&EnergyModel::default()) > 0.0);
+    }
+
+    #[test]
+    fn streaming_reference_has_no_worthwhile_candidate() {
+        // Pure streaming: every address touched once.
+        let mut t = vec![Record::checkpoint(0, LB)];
+        for i in 0..64u32 {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::access(0x400000, 0x1000 + 4 * i, AccessKind::Read));
+            t.push(Record::checkpoint(0, BE));
+        }
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig::default());
+        assert!(enumerate(&model).is_empty(), "no reuse, no candidate");
+    }
+
+    #[test]
+    fn written_references_pay_writeback() {
+        let mut t = vec![Record::checkpoint(0, LB)];
+        for _j in 0..32u32 {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::checkpoint(1, LB));
+            for i in 0..16u32 {
+                t.push(Record::checkpoint(1, BB));
+                t.push(Record::access(0x400000, 0x1000 + 4 * i, AccessKind::Write));
+                t.push(Record::checkpoint(1, BE));
+            }
+            t.push(Record::checkpoint(0, BE));
+        }
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig::default());
+        let cands = enumerate(&model);
+        assert!(!cands.is_empty());
+        assert!(cands[0].writeback_elems > 0);
+        let read_model = rescan_model();
+        let read_cands = enumerate(&read_model);
+        assert!(
+            cands[0].savings_nj(&EnergyModel::default())
+                < read_cands[0].savings_nj(&EnergyModel::default()),
+            "writeback must cost energy"
+        );
+    }
+
+    #[test]
+    fn element_width_inference() {
+        let model = rescan_model();
+        let cands = enumerate(&model);
+        assert_eq!(cands[0].elem_bytes, 4);
+    }
+
+    #[test]
+    fn partial_window_limits_levels() {
+        // Two-level nest with an unpredictable outer base: window = 1.
+        let mut t = Vec::new();
+        t.push(Record::checkpoint(0, LB));
+        for base in [0x1000u32, 0x1790, 0x2004, 0x3500] {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::checkpoint(1, LB));
+            // Re-walk the same 16-element row 4 times per entry so the
+            // level-covering buffers show reuse.
+            for _rescan in 0..4 {
+                t.push(Record::checkpoint(1, BB));
+                t.push(Record::checkpoint(2, LB));
+                for i in 0..16u32 {
+                    t.push(Record::checkpoint(2, BB));
+                    t.push(Record::access(0x400000, base + 4 * i, AccessKind::Read));
+                    t.push(Record::checkpoint(2, BE));
+                }
+                t.push(Record::checkpoint(1, BE));
+            }
+            t.push(Record::checkpoint(0, BE));
+        }
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig::default());
+        assert_eq!(model.ref_count(), 1);
+        let r = &model.refs[0];
+        assert!(r.is_partial());
+        assert_eq!(r.window, 2, "rescan level stays predictable, base level does not");
+        let cands = enumerate(&model);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.level <= r.window, "candidates must respect the window");
+        }
+    }
+}

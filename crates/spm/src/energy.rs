@@ -1,0 +1,79 @@
+//! Energy model for scratch-pad vs main-memory accesses.
+//!
+//! Calibrated to the qualitative facts the paper's flow relies on (via its
+//! ref \[1\], Banakar et al., CODES 2002): an on-chip SPM access costs a
+//! fraction of a main-memory access, and SPM per-access energy grows
+//! slowly (roughly logarithmically) with SPM size. Absolute numbers are
+//! representative, not process-accurate — Phase II decisions depend only on
+//! the ratios.
+
+/// Per-access energy parameters, in nanojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Main-memory (off-chip) access energy.
+    pub main_access_nj: f64,
+    /// SPM access energy at the reference size.
+    pub spm_base_nj: f64,
+    /// SPM size at which `spm_base_nj` holds, in bytes.
+    pub spm_base_bytes: u32,
+    /// Additional energy per doubling of SPM size (fraction of base).
+    pub spm_size_slope: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // ~16x main-memory vs small-SPM ratio, Banakar-flavoured.
+        EnergyModel {
+            main_access_nj: 3.2,
+            spm_base_nj: 0.19,
+            spm_base_bytes: 512,
+            spm_size_slope: 0.18,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Per-access SPM energy for an SPM of `size_bytes`.
+    pub fn spm_access_nj(&self, size_bytes: u32) -> f64 {
+        let size = size_bytes.max(1) as f64;
+        let base = self.spm_base_bytes.max(1) as f64;
+        let doublings = (size / base).log2().max(0.0);
+        self.spm_base_nj * (1.0 + self.spm_size_slope * doublings)
+    }
+
+    /// Energy for `n` main-memory accesses.
+    pub fn main_nj(&self, n: u64) -> f64 {
+        self.main_access_nj * n as f64
+    }
+
+    /// Energy advantage of one SPM access over one main-memory access at a
+    /// given SPM size (positive while SPM wins).
+    pub fn advantage_nj(&self, size_bytes: u32) -> f64 {
+        self.main_access_nj - self.spm_access_nj(size_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spm_is_cheaper_and_grows_with_size() {
+        let m = EnergyModel::default();
+        assert!(m.spm_access_nj(512) < m.main_access_nj);
+        assert!(m.spm_access_nj(16 * 1024) > m.spm_access_nj(512));
+        assert!(m.advantage_nj(512) > 0.0);
+    }
+
+    #[test]
+    fn below_base_size_is_flat() {
+        let m = EnergyModel::default();
+        assert_eq!(m.spm_access_nj(64), m.spm_access_nj(512));
+    }
+
+    #[test]
+    fn main_energy_is_linear() {
+        let m = EnergyModel::default();
+        assert!((m.main_nj(10) - 10.0 * m.main_access_nj).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Design-space exploration: which buffers go into the scratch pad —
+//! step 3 of the paper's Phase II call-out ("explore and select buffers to
+//! be placed in SPM").
+//!
+//! Selecting at most one buffering level per reference under a capacity
+//! budget is a multiple-choice knapsack. Both an exact dynamic program and
+//! the classical density-greedy heuristic are provided; the
+//! `spm_dse` bench compares them (an ablation called out in `DESIGN.md`).
+
+use crate::candidate::BufferCandidate;
+use crate::energy::EnergyModel;
+use std::collections::BTreeMap;
+
+/// A chosen configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Indices into the candidate slice, at most one per reference.
+    pub chosen: Vec<usize>,
+    /// Bytes of SPM used.
+    pub used_bytes: u32,
+    /// Energy saved vs an all-main-memory baseline, in nJ.
+    pub savings_nj: f64,
+}
+
+impl Selection {
+    fn empty() -> Selection {
+        Selection { chosen: Vec::new(), used_bytes: 0, savings_nj: 0.0 }
+    }
+}
+
+/// Exact multiple-choice knapsack via dynamic programming over capacity.
+///
+/// Complexity `O(capacity × candidates)`; capacities are SPM-sized
+/// (≤ 64 KiB), so this is fast in practice.
+pub fn select_exact(
+    candidates: &[BufferCandidate],
+    energy: &EnergyModel,
+    capacity: u32,
+) -> Selection {
+    let cap = capacity as usize;
+    // Group candidate indices by reference (choose ≤ 1 per group).
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        groups.entry(c.ref_idx).or_default().push(i);
+    }
+    // dp[w] = best savings using ≤ w bytes; choice[g][w] = candidate picked.
+    let mut dp = vec![0.0f64; cap + 1];
+    let mut picks: Vec<Vec<i32>> = Vec::with_capacity(groups.len());
+    for group in groups.values() {
+        let prev = dp.clone();
+        let mut pick_row = vec![-1i32; cap + 1];
+        for w in 0..=cap {
+            // Default: skip this group.
+            dp[w] = prev[w];
+            for &ci in group {
+                let c = &candidates[ci];
+                let size = c.size_bytes as usize;
+                if size <= w {
+                    let v = prev[w - size] + c.savings_nj(energy);
+                    if v > dp[w] {
+                        dp[w] = v;
+                        pick_row[w] = ci as i32;
+                    }
+                }
+            }
+        }
+        picks.push(pick_row);
+    }
+    // Backtrack.
+    let mut chosen = Vec::new();
+    let mut w = cap;
+    for g in (0..picks.len()).rev() {
+        let ci = picks[g][w];
+        if ci >= 0 {
+            let c = &candidates[ci as usize];
+            chosen.push(ci as usize);
+            w -= c.size_bytes as usize;
+        }
+    }
+    chosen.reverse();
+    let used_bytes = chosen.iter().map(|&i| candidates[i].size_bytes).sum();
+    let savings_nj = chosen.iter().map(|&i| candidates[i].savings_nj(energy)).sum();
+    Selection { chosen, used_bytes, savings_nj }
+}
+
+/// Greedy selection by savings density (nJ per byte), one level per
+/// reference, first-fit under the capacity.
+pub fn select_greedy(
+    candidates: &[BufferCandidate],
+    energy: &EnergyModel,
+    capacity: u32,
+) -> Selection {
+    let mut order: Vec<usize> = (0..candidates.len())
+        .filter(|&i| candidates[i].savings_nj(energy) > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let da = candidates[a].savings_nj(energy) / candidates[a].size_bytes.max(1) as f64;
+        let db = candidates[b].savings_nj(energy) / candidates[b].size_bytes.max(1) as f64;
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut sel = Selection::empty();
+    let mut used_refs = std::collections::HashSet::new();
+    for i in order {
+        let c = &candidates[i];
+        if used_refs.contains(&c.ref_idx) {
+            continue;
+        }
+        if sel.used_bytes + c.size_bytes <= capacity {
+            sel.used_bytes += c.size_bytes;
+            sel.savings_nj += c.savings_nj(energy);
+            sel.chosen.push(i);
+            used_refs.insert(c.ref_idx);
+        }
+    }
+    sel.chosen.sort_unstable();
+    sel
+}
+
+/// Sweeps SPM capacities, producing the Pareto curve of (capacity,
+/// savings) — the paper's "several buffer configurations are suggested and
+/// one of them is selected during design space exploration".
+pub fn sweep(
+    candidates: &[BufferCandidate],
+    energy: &EnergyModel,
+    capacities: &[u32],
+) -> Vec<(u32, Selection)> {
+    capacities.iter().map(|&cap| (cap, select_exact(candidates, energy, cap))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(ref_idx: usize, level: u32, size: u32, accesses: u64, fills: u64) -> BufferCandidate {
+        BufferCandidate {
+            ref_idx,
+            array: format!("A{ref_idx}"),
+            level,
+            size_bytes: size,
+            spm_accesses: accesses,
+            fill_elems: fills,
+            writeback_elems: 0,
+            activations: 1,
+            elem_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn exact_respects_capacity_and_groups() {
+        let energy = EnergyModel::default();
+        let cands = vec![
+            candidate(0, 1, 100, 10_000, 100), // ref 0, small
+            candidate(0, 2, 400, 10_000, 25),  // ref 0, bigger, better
+            candidate(1, 1, 300, 5_000, 50),
+        ];
+        let sel = select_exact(&cands, &energy, 700);
+        // Can take ref0/level2 (400) + ref1 (300) = 700.
+        assert_eq!(sel.chosen, vec![1, 2]);
+        assert_eq!(sel.used_bytes, 700);
+        // Tight capacity: must pick the best combination that fits.
+        let sel = select_exact(&cands, &energy, 450);
+        assert!(sel.used_bytes <= 450);
+        let per_ref: std::collections::HashSet<usize> =
+            sel.chosen.iter().map(|&i| cands[i].ref_idx).collect();
+        assert_eq!(per_ref.len(), sel.chosen.len(), "at most one level per reference");
+    }
+
+    #[test]
+    fn exact_beats_or_equals_greedy() {
+        let energy = EnergyModel::default();
+        // Adversarial sizes: greedy-by-density walks into a corner.
+        let cands = vec![
+            candidate(0, 1, 60, 3_000, 30),
+            candidate(1, 1, 60, 3_000, 30),
+            candidate(2, 1, 100, 4_600, 46),
+        ];
+        for cap in [100u32, 120, 160, 220] {
+            let e = select_exact(&cands, &energy, cap);
+            let g = select_greedy(&cands, &energy, cap);
+            assert!(
+                e.savings_nj >= g.savings_nj - 1e-9,
+                "cap {cap}: exact {} < greedy {}",
+                e.savings_nj,
+                g.savings_nj
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_selects_nothing() {
+        let energy = EnergyModel::default();
+        let cands = vec![candidate(0, 1, 100, 1_000, 10)];
+        let sel = select_exact(&cands, &energy, 0);
+        assert!(sel.chosen.is_empty());
+        assert_eq!(sel.savings_nj, 0.0);
+    }
+
+    #[test]
+    fn negative_savings_candidates_are_never_chosen() {
+        let energy = EnergyModel::default();
+        // Moves more data than it serves.
+        let cands = vec![candidate(0, 1, 100, 10, 1_000)];
+        assert!(cands[0].savings_nj(&energy) < 0.0);
+        let sel = select_exact(&cands, &energy, 1_000);
+        assert!(sel.chosen.is_empty());
+        let sel = select_greedy(&cands, &energy, 1_000);
+        assert!(sel.chosen.is_empty());
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let energy = EnergyModel::default();
+        let cands = vec![
+            candidate(0, 1, 128, 4_000, 32),
+            candidate(1, 1, 256, 6_000, 64),
+            candidate(2, 1, 512, 9_000, 128),
+        ];
+        let curve = sweep(&cands, &energy, &[128, 256, 512, 1024]);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1.savings_nj >= pair[0].1.savings_nj - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Code transformation — step 4 of the paper's Phase II call-out ("modify
+//! source code to reflect buffer configurations").
+//!
+//! Rewrites the FORAY model so selected references go through scratch-pad
+//! buffers, inserting the fill (and writeback) copy loops at the right
+//! nesting level. The output is the "transformed FORAY model code" of the
+//! paper's Fig. 3, which a designer back-annotates into the legacy source
+//! in Phase III.
+
+use crate::candidate::BufferCandidate;
+use foray::codegen::iter_name;
+use foray::{ForayModel, ModelRef};
+use std::fmt::Write as _;
+
+/// Renders the buffered FORAY model.
+///
+/// Selected references index their buffer with the inner-iterator part of
+/// their affine expression (re-based so the buffer starts at offset 0);
+/// unselected references keep their original form.
+pub fn emit_buffered(
+    model: &ForayModel,
+    candidates: &[BufferCandidate],
+    chosen: &[usize],
+) -> String {
+    let mut out = String::new();
+    let selected: Vec<&BufferCandidate> = chosen.iter().map(|&i| &candidates[i]).collect();
+    // Buffer declarations.
+    for (bi, c) in selected.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "char SPM{bi}[{}]; // {} level {} buffer, reuse x{:.1}",
+            c.size_bytes,
+            c.array,
+            c.level,
+            c.reuse_factor()
+        );
+    }
+    if !selected.is_empty() {
+        out.push('\n');
+    }
+    // Emit each selected reference's nest with its fill loop; then the
+    // untouched remainder of the model.
+    for (bi, c) in selected.iter().enumerate() {
+        let r = &model.refs[c.ref_idx];
+        emit_buffered_nest(&mut out, model, r, c, bi);
+        out.push('\n');
+    }
+    let untouched: Vec<usize> = (0..model.refs.len())
+        .filter(|i| !selected.iter().any(|c| c.ref_idx == *i))
+        .collect();
+    if !untouched.is_empty() {
+        let _ = writeln!(out, "// references left in main memory:");
+        let mut rest = ForayModel::default();
+        for i in untouched {
+            let r = model.refs[i].clone();
+            for n in &r.node_path {
+                rest.loops.insert(*n, model.loops[n].clone());
+            }
+            rest.refs.push(r);
+        }
+        out.push_str(&foray::codegen::emit(&rest));
+    }
+    out
+}
+
+fn emit_buffered_nest(
+    out: &mut String,
+    model: &ForayModel,
+    r: &ModelRef,
+    c: &BufferCandidate,
+    buffer_index: usize,
+) {
+    // Outer loops: levels N down to level+1. node_path is innermost-first.
+    let outer: Vec<_> = r.node_path.iter().rev().take((r.nest - c.level) as usize).collect();
+    let inner: Vec<_> = r.node_path.iter().rev().skip((r.nest - c.level) as usize).collect();
+    let mut indent = 0;
+    for n in &outer {
+        let l = &model.loops[*n];
+        let name = iter_name(l.loop_id);
+        indent_to(out, indent);
+        let _ = writeln!(out, "for (int {name}=0; {name}<{}; {name}++) {{", l.trip);
+        indent += 1;
+    }
+    // Fill loop at the activation boundary.
+    indent_to(out, indent);
+    let _ = writeln!(
+        out,
+        "spm_fill(SPM{buffer_index}, {} /* activation base */, {}); // {} elems from {}",
+        activation_base(r, c),
+        c.size_bytes,
+        c.size_bytes / c.elem_bytes.max(1),
+        c.array,
+    );
+    // Inner loops.
+    for n in &inner {
+        let l = &model.loops[*n];
+        let name = iter_name(l.loop_id);
+        indent_to(out, indent);
+        let _ = writeln!(out, "for (int {name}=0; {name}<{}; {name}++) {{", l.trip);
+        indent += 1;
+    }
+    indent_to(out, indent);
+    let _ = writeln!(
+        out,
+        "SPM{buffer_index}[{}]; // was {}[{}]",
+        buffer_expr(r, c),
+        r.array_name(),
+        foray::codegen::index_expr(r)
+    );
+    if c.writeback_elems > 0 {
+        // Writeback sits with the fill at the activation boundary.
+        indent_to(out, (r.nest - c.level) as usize);
+        let _ = writeln!(
+            out,
+            "// spm_writeback(SPM{buffer_index}, ..., {}) after the inner nest",
+            c.size_bytes
+        );
+    }
+    for i in (0..indent).rev() {
+        indent_to(out, i);
+        out.push_str("}\n");
+    }
+}
+
+/// The part of the affine expression covered by the buffer, re-based to
+/// start at 0 (negative-stride terms shifted by their span).
+fn buffer_expr(r: &ModelRef, c: &BufferCandidate) -> String {
+    let mut parts = Vec::new();
+    let mut rebase: i64 = 0;
+    for t in &r.terms {
+        if t.level <= c.level {
+            if t.coeff < 0 {
+                rebase += -t.coeff; // shifted by |c|*(trip-1) conceptually
+            }
+            parts.push(format!("{}*{}", t.coeff, iter_name(t.loop_id)));
+        }
+    }
+    let mut s = if rebase > 0 { format!("{rebase}") } else { "0".to_owned() };
+    for p in parts {
+        let _ = write!(s, " + {p}");
+    }
+    s
+}
+
+/// The main-memory base address expression of one activation: the constant
+/// plus the outer-iterator terms.
+fn activation_base(r: &ModelRef, c: &BufferCandidate) -> String {
+    let mut s = r.constant.to_string();
+    for t in &r.terms {
+        if t.level > c.level {
+            let _ = write!(s, " + {}*{}", t.coeff, iter_name(t.loop_id));
+        }
+    }
+    if r.is_partial() {
+        let _ = write!(s, " /* + runtime base */");
+    }
+    s
+}
+
+fn indent_to(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::enumerate;
+    use foray::{analyze, FilterConfig};
+    use minic::CheckpointKind::{BodyBegin as BB, BodyEnd as BE, LoopBegin as LB};
+    use minic_trace::{AccessKind, Record};
+
+    fn rescan_model() -> ForayModel {
+        let mut t = Vec::new();
+        t.push(Record::checkpoint(0, LB));
+        for _j in 0..32u32 {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::checkpoint(1, LB));
+            for i in 0..16u32 {
+                t.push(Record::checkpoint(1, BB));
+                t.push(Record::access(0x400000, 0x1000 + 4 * i, AccessKind::Read));
+                t.push(Record::checkpoint(1, BE));
+            }
+            t.push(Record::checkpoint(0, BE));
+        }
+        ForayModel::extract(&analyze(&t), &FilterConfig::default())
+    }
+
+    #[test]
+    fn buffered_emission_shape() {
+        let model = rescan_model();
+        let cands = enumerate(&model);
+        assert_eq!(cands.len(), 1);
+        let code = emit_buffered(&model, &cands, &[0]);
+        assert!(code.contains("char SPM0[64];"), "{code}");
+        assert!(code.contains("spm_fill(SPM0"), "{code}");
+        assert!(code.contains("SPM0[0 + 4*i3]; // was A400000[4096 + 4*i3]"), "{code}");
+        // Whole nest buffered at level 2: no outer loop before the fill.
+        assert!(code.trim_start().starts_with("char SPM0"), "{code}");
+    }
+
+    #[test]
+    fn unselected_references_remain() {
+        let model = rescan_model();
+        let cands = enumerate(&model);
+        let code = emit_buffered(&model, &cands, &[]);
+        assert!(code.contains("references left in main memory"), "{code}");
+        assert!(code.contains("A400000"), "{code}");
+        assert!(!code.contains("SPM0["), "{code}");
+    }
+}

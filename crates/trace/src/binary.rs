@@ -1,0 +1,256 @@
+//! Compact binary trace format.
+//!
+//! Traces get long (the paper's runs reach tens of millions of accesses), so
+//! a fixed-width binary encoding is provided alongside the paper-style text
+//! format: a 1-byte tag followed by little-endian fields.
+//!
+//! ```text
+//! 0x01 loop:u32 kind:u8              checkpoint
+//! 0x02 instr:u32 addr:u32 kind:u8    access
+//! ```
+
+use crate::record::{Access, AccessKind, InstrAddr, MemAddr, Record};
+use crate::sink::TraceSink;
+use minic::{CheckpointKind, LoopId};
+use std::io::{self, Read, Write};
+
+const TAG_CHECKPOINT: u8 = 0x01;
+const TAG_ACCESS: u8 = 0x02;
+
+fn kind_byte(kind: CheckpointKind) -> u8 {
+    match kind {
+        CheckpointKind::LoopBegin => 0,
+        CheckpointKind::BodyBegin => 1,
+        CheckpointKind::BodyEnd => 2,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Option<CheckpointKind> {
+    Some(match b {
+        0 => CheckpointKind::LoopBegin,
+        1 => CheckpointKind::BodyBegin,
+        2 => CheckpointKind::BodyEnd,
+        _ => return None,
+    })
+}
+
+/// Encodes one record into a byte buffer.
+pub fn encode_record(rec: &Record, out: &mut Vec<u8>) {
+    match rec {
+        Record::Checkpoint { loop_id, kind } => {
+            out.push(TAG_CHECKPOINT);
+            out.extend_from_slice(&loop_id.0.to_le_bytes());
+            out.push(kind_byte(*kind));
+        }
+        Record::Access(a) => {
+            out.push(TAG_ACCESS);
+            out.extend_from_slice(&a.instr.0.to_le_bytes());
+            out.extend_from_slice(&a.addr.0.to_le_bytes());
+            out.push(match a.kind {
+                AccessKind::Read => 0,
+                AccessKind::Write => 1,
+            });
+        }
+    }
+}
+
+/// Encodes a whole trace.
+pub fn to_bytes(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 10);
+    for r in records {
+        encode_record(r, &mut out);
+    }
+    out
+}
+
+/// Decodes a whole binary trace.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] with kind `InvalidData` on bad tags or truncation.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> std::io::Result<()> {
+/// use minic_trace::{binary, AccessKind, Record};
+/// let recs = vec![Record::access(0x400000, 0x1000_0000, AccessKind::Read)];
+/// let bytes = binary::to_bytes(&recs);
+/// assert_eq!(binary::from_bytes(&bytes)?, recs);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_bytes(bytes: &[u8]) -> io::Result<Vec<Record>> {
+    BinaryReader::new(bytes).collect()
+}
+
+/// Writes binary records to any [`Write`]; pass `&mut writer` to keep
+/// ownership.
+#[derive(Debug)]
+pub struct BinaryWriter<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> BinaryWriter<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        BinaryWriter { out, buf: Vec::with_capacity(16), error: None }
+    }
+
+    /// First latched I/O error, if any (see [`crate::text::TextWriter`]).
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for BinaryWriter<W> {
+    fn record(&mut self, rec: &Record) {
+        if self.error.is_some() {
+            return;
+        }
+        self.buf.clear();
+        encode_record(rec, &mut self.buf);
+        if let Err(e) = self.out.write_all(&self.buf) {
+            self.error = Some(e);
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Streaming binary decoder.
+#[derive(Debug)]
+pub struct BinaryReader<R: Read> {
+    input: R,
+}
+
+impl<R: Read> BinaryReader<R> {
+    /// Wraps a reader.
+    pub fn new(input: R) -> Self {
+        BinaryReader { input }
+    }
+
+    fn read_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.input.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.input.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+}
+
+impl<R: Read> Iterator for BinaryReader<R> {
+    type Item = io::Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut tag = [0u8; 1];
+        match self.input.read(&mut tag) {
+            Ok(0) => return None,
+            Ok(_) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        let result = (|| -> io::Result<Record> {
+            match tag[0] {
+                TAG_CHECKPOINT => {
+                    let loop_id = self.read_u32()?;
+                    let kind = kind_from_byte(self.read_u8()?).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint kind")
+                    })?;
+                    Ok(Record::Checkpoint { loop_id: LoopId(loop_id), kind })
+                }
+                TAG_ACCESS => {
+                    let instr = self.read_u32()?;
+                    let addr = self.read_u32()?;
+                    let kind = match self.read_u8()? {
+                        0 => AccessKind::Read,
+                        1 => AccessKind::Write,
+                        _ => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "bad access kind",
+                            ));
+                        }
+                    };
+                    Ok(Record::Access(Access {
+                        instr: InstrAddr(instr),
+                        addr: MemAddr(addr),
+                        kind,
+                    }))
+                }
+                t => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad record tag {t:#x}"),
+                )),
+            }
+        })();
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::checkpoint(0, CheckpointKind::LoopBegin),
+            Record::checkpoint(0, CheckpointKind::BodyBegin),
+            Record::access(0x4002a0, 0x7fff5934, AccessKind::Write),
+            Record::access(0x400004, 0x10000000, AccessKind::Read),
+            Record::checkpoint(0, CheckpointKind::BodyEnd),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = sample();
+        assert_eq!(from_bytes(&to_bytes(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn writer_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = BinaryWriter::new(&mut buf);
+            for r in sample() {
+                w.record(&r);
+            }
+            w.finish();
+            assert!(w.io_error().is_none());
+        }
+        assert_eq!(from_bytes(&buf).unwrap(), sample());
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_tags() {
+        let bytes = to_bytes(&sample());
+        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes(&[0xff]).is_err());
+        assert!(from_bytes(&[TAG_CHECKPOINT, 0, 0, 0, 0, 9]).is_err());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let recs = sample();
+        let bytes = to_bytes(&recs);
+        // 2 accesses * 10 bytes + 3 checkpoints * 6 bytes.
+        assert_eq!(bytes.len(), 2 * 10 + 3 * 6);
+    }
+}

@@ -1,0 +1,101 @@
+//! Address-space layout shared between the simulator and the analyzer.
+//!
+//! The simulator lays data out in the flavour of the paper's SimpleScalar
+//! runs: globals low, heap in the middle, stack descending from just under
+//! `0x8000_0000` (the paper's Fig. 4 stack addresses are `0x7fff_xxxx`), and
+//! synthetic code addresses near `0x0040_0000` (the paper's example
+//! instruction is `0x4002a0`). "System library" builtins get instruction
+//! addresses from a separate range so the analyzer — and Table III — can
+//! classify their traffic without any side channel.
+
+use crate::record::InstrAddr;
+
+/// Base of user-code instruction addresses; site `s` maps to
+/// `CODE_BASE + 4*s`.
+pub const CODE_BASE: u32 = 0x0040_0000;
+
+/// Base of system-library instruction addresses (builtin `b`, internal
+/// access slot `k` maps to `LIB_CODE_BASE + 64*b + 4*k`).
+pub const LIB_CODE_BASE: u32 = 0x0030_0000;
+
+/// Exclusive upper bound of the library instruction range.
+pub const LIB_CODE_END: u32 = CODE_BASE;
+
+/// Base of instruction addresses for compiler-generated frame traffic
+/// (argument stores/loads around calls). The paper notes such references
+/// ("placing arguments to the stack before performing function calls,
+/// memory spills, etc.") appear in its traces and are filtered out by
+/// Step 4; they are *user* code, not library code.
+pub const FRAME_CODE_BASE: u32 = 0x0050_0000;
+
+/// Base address of the globals segment.
+pub const GLOBAL_BASE: u32 = 0x1000_0000;
+
+/// Base address of internal system-library data (allocator metadata, RNG
+/// state, I/O staging buffers).
+pub const LIB_DATA_BASE: u32 = 0x2000_0000;
+
+/// Base address of the heap segment (grows upward).
+pub const HEAP_BASE: u32 = 0x4000_0000;
+
+/// Initial stack pointer (stack grows downward).
+pub const STACK_TOP: u32 = 0x7fff_fff0;
+
+/// Classifies an instruction address as system-library code.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{layout, InstrAddr};
+/// assert!(layout::is_library_instr(InstrAddr(layout::LIB_CODE_BASE + 8)));
+/// assert!(!layout::is_library_instr(InstrAddr(layout::CODE_BASE)));
+/// ```
+pub fn is_library_instr(instr: InstrAddr) -> bool {
+    (LIB_CODE_BASE..LIB_CODE_END).contains(&instr.0)
+}
+
+/// Maps a user site index to its synthetic instruction address.
+pub fn user_instr(site: u32) -> InstrAddr {
+    InstrAddr(CODE_BASE + 4 * site)
+}
+
+/// Maps a library routine index and access slot to an instruction address.
+pub fn library_instr(builtin: u32, slot: u32) -> InstrAddr {
+    debug_assert!(slot < 16, "library access slot out of range");
+    InstrAddr(LIB_CODE_BASE + 64 * builtin + 4 * slot)
+}
+
+/// Maps a function index and frame slot to the instruction address of the
+/// synthetic argument-passing access (caller store / callee load).
+pub fn frame_instr(func: u32, slot: u32) -> InstrAddr {
+    InstrAddr(FRAME_CODE_BASE + 64 * func + 4 * (slot % 16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(is_library_instr(library_instr(0, 0)));
+        assert!(is_library_instr(library_instr(10, 15)));
+        assert!(!is_library_instr(user_instr(0)));
+        assert!(!is_library_instr(user_instr(1_000_000)));
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate invariant checks
+    fn segments_are_disjoint_and_ordered() {
+        assert!(LIB_CODE_BASE < CODE_BASE);
+        assert!(CODE_BASE < GLOBAL_BASE);
+        assert!(GLOBAL_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < STACK_TOP);
+    }
+
+    #[test]
+    fn user_instr_mapping_is_injective_for_small_sites() {
+        assert_eq!(user_instr(0).0, CODE_BASE);
+        assert_eq!(user_instr(1).0, CODE_BASE + 4);
+        assert_ne!(user_instr(7), user_instr(8));
+    }
+}

@@ -1,0 +1,126 @@
+//! Trace record types.
+//!
+//! A profiling run produces a stream of [`Record`]s: checkpoint events
+//! marking loop structure (Step 1/2 of the paper's Algorithm 1) interleaved
+//! with memory-access events `(instruction address, access address, r/w)`,
+//! exactly the information the paper's modified SimpleScalar writes to its
+//! trace file (Fig. 4(c)).
+
+use minic::{CheckpointKind, LoopId};
+use std::fmt;
+
+/// A synthetic instruction address identifying a static memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstrAddr(pub u32);
+
+impl fmt::Display for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for InstrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A data-memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemAddr(pub u32);
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+impl AccessKind {
+    /// The paper's trace-file spelling (`rd` / `wr`).
+    pub fn code(self) -> &'static str {
+        match self {
+            AccessKind::Read => "rd",
+            AccessKind::Write => "wr",
+        }
+    }
+}
+
+/// A single memory access event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Address of the instruction performing the access (identifies the
+    /// static reference).
+    pub instr: InstrAddr,
+    /// Address touched.
+    pub addr: MemAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Record {
+    /// A loop checkpoint.
+    Checkpoint {
+        /// Which loop.
+        loop_id: LoopId,
+        /// Which of the three checkpoint kinds.
+        kind: CheckpointKind,
+    },
+    /// A memory access.
+    Access(Access),
+}
+
+impl Record {
+    /// Convenience constructor for an access record.
+    pub fn access(instr: u32, addr: u32, kind: AccessKind) -> Record {
+        Record::Access(Access { instr: InstrAddr(instr), addr: MemAddr(addr), kind })
+    }
+
+    /// Convenience constructor for a checkpoint record.
+    pub fn checkpoint(loop_id: u32, kind: CheckpointKind) -> Record {
+        Record::Checkpoint { loop_id: LoopId(loop_id), kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_display() {
+        assert_eq!(InstrAddr(0x4002a0).to_string(), "4002a0");
+        assert_eq!(MemAddr(0x7fff5934).to_string(), "7fff5934");
+        assert_eq!(format!("{:08x}", InstrAddr(0xff)), "000000ff");
+    }
+
+    #[test]
+    fn access_kind_codes() {
+        assert_eq!(AccessKind::Read.code(), "rd");
+        assert_eq!(AccessKind::Write.code(), "wr");
+    }
+
+    #[test]
+    fn constructors() {
+        let r = Record::access(0x4002a0, 0x7fff5934, AccessKind::Write);
+        let Record::Access(a) = r else { panic!() };
+        assert_eq!(a.instr, InstrAddr(0x4002a0));
+        let c = Record::checkpoint(4, CheckpointKind::BodyBegin);
+        assert!(matches!(c, Record::Checkpoint { loop_id: LoopId(4), .. }));
+    }
+}

@@ -1,0 +1,185 @@
+//! Trace consumers.
+//!
+//! The simulator pushes [`Record`]s into a [`TraceSink`]. Because the
+//! paper's analysis touches every record exactly once, in order, the same
+//! trait serves both "write a trace file" (offline mode) and "analyze
+//! during profiling" (the paper's constant-space online mode — the FORAY
+//! analyzer itself implements [`TraceSink`]).
+
+use crate::record::Record;
+
+/// A consumer of trace records.
+pub trait TraceSink {
+    /// Accepts the next record of the stream.
+    fn record(&mut self, rec: &Record);
+
+    /// Called once when the stream ends. Default: no-op.
+    fn finish(&mut self) {}
+}
+
+/// Collects records into a vector (offline analysis, tests).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct VecSink {
+    /// Records in arrival order.
+    pub records: Vec<Record>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Consumes the sink, yielding the collected records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: &Record) {
+        self.records.push(*rec);
+    }
+}
+
+/// Discards every record (useful for benchmarking raw simulation speed).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: &Record) {}
+}
+
+/// Counts records without storing them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of access records seen.
+    pub accesses: u64,
+    /// Number of checkpoint records seen.
+    pub checkpoints: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Total records seen.
+    pub fn total(&self) -> u64 {
+        self.accesses + self.checkpoints
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, rec: &Record) {
+        match rec {
+            Record::Access(_) => self.accesses += 1,
+            Record::Checkpoint { .. } => self.checkpoints += 1,
+        }
+    }
+}
+
+/// Duplicates the stream into two sinks (e.g. write a file *and* analyze
+/// online in one profiling run).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TeeSink<A, B> {
+    /// First consumer.
+    pub first: A,
+    /// Second consumer.
+    pub second: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Combines two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// Splits the tee back into its parts.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn record(&mut self, rec: &Record) {
+        self.first.record(rec);
+        self.second.record(rec);
+    }
+
+    fn finish(&mut self) {
+        self.first.finish();
+        self.second.finish();
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn record(&mut self, rec: &Record) {
+        (**self).record(rec);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AccessKind;
+    use minic::CheckpointKind;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::checkpoint(0, CheckpointKind::LoopBegin),
+            Record::checkpoint(0, CheckpointKind::BodyBegin),
+            Record::access(0x400000, 0x10000000, AccessKind::Read),
+            Record::checkpoint(0, CheckpointKind::BodyEnd),
+        ]
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        for r in sample() {
+            sink.record(&r);
+        }
+        assert_eq!(sink.into_records(), sample());
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        for r in sample() {
+            sink.record(&r);
+        }
+        assert_eq!(sink.accesses, 1);
+        assert_eq!(sink.checkpoints, 3);
+        assert_eq!(sink.total(), 4);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut tee = TeeSink::new(VecSink::new(), CountingSink::new());
+        for r in sample() {
+            tee.record(&r);
+        }
+        tee.finish();
+        let (v, c) = tee.into_inner();
+        assert_eq!(v.records.len(), 4);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        let mut sink = CountingSink::new();
+        {
+            let mut by_ref: &mut CountingSink = &mut sink;
+            for r in sample() {
+                TraceSink::record(&mut by_ref, &r);
+            }
+        }
+        assert_eq!(sink.total(), 4);
+    }
+}

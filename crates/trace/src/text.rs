@@ -1,0 +1,319 @@
+//! Paper-compatible text trace format.
+//!
+//! Mirrors Fig. 4(c) of the paper:
+//!
+//! ```text
+//! Checkpoint: 12
+//! Instr: 4002a0 addr: 7fff5934 wr
+//! ```
+//!
+//! Checkpoint numbers use the flat encoding of
+//! [`minic::checkpoint_number`] (`3*loop + kind`), so the format is
+//! self-describing and needs no side table.
+
+use crate::record::{Access, AccessKind, InstrAddr, MemAddr, Record};
+use crate::sink::TraceSink;
+use minic::{checkpoint_from_number, checkpoint_number};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Formats one record as a text line (without trailing newline).
+pub fn format_record(rec: &Record) -> String {
+    match rec {
+        Record::Checkpoint { loop_id, kind } => {
+            format!("Checkpoint: {}", checkpoint_number(*loop_id, *kind))
+        }
+        Record::Access(a) => {
+            format!("Instr: {:x} addr: {:x} {}", a.instr, a.addr, a.kind.code())
+        }
+    }
+}
+
+/// Error parsing a text trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: u64,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses one text line into a record. Blank lines yield `Ok(None)`.
+pub fn parse_line(line: &str, lineno: u64) -> Result<Option<Record>, ParseTraceError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let err = |msg: String| ParseTraceError { line: lineno, msg };
+    if let Some(rest) = line.strip_prefix("Checkpoint:") {
+        let n: u32 = rest
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("bad checkpoint number `{}`", rest.trim())))?;
+        let (loop_id, kind) = checkpoint_from_number(n);
+        return Ok(Some(Record::Checkpoint { loop_id, kind }));
+    }
+    if let Some(rest) = line.strip_prefix("Instr:") {
+        let mut parts = rest.split_whitespace();
+        let instr = parts.next().ok_or_else(|| err("missing instr address".into()))?;
+        let addr_kw = parts.next().ok_or_else(|| err("missing `addr:`".into()))?;
+        if addr_kw != "addr:" {
+            return Err(err(format!("expected `addr:`, found `{addr_kw}`")));
+        }
+        let addr = parts.next().ok_or_else(|| err("missing access address".into()))?;
+        let rw = parts.next().ok_or_else(|| err("missing rd/wr flag".into()))?;
+        let instr = u32::from_str_radix(instr, 16)
+            .map_err(|_| err(format!("bad instr address `{instr}`")))?;
+        let addr = u32::from_str_radix(addr, 16)
+            .map_err(|_| err(format!("bad access address `{addr}`")))?;
+        let kind = match rw {
+            "rd" => AccessKind::Read,
+            "wr" => AccessKind::Write,
+            other => return Err(err(format!("bad rd/wr flag `{other}`"))),
+        };
+        return Ok(Some(Record::Access(Access {
+            instr: InstrAddr(instr),
+            addr: MemAddr(addr),
+            kind,
+        })));
+    }
+    Err(err(format!("unrecognized line `{line}`")))
+}
+
+/// Writes records as text lines to any [`Write`] (a `&mut` reference works
+/// too, so the writer can be reused afterwards).
+#[derive(Debug)]
+pub struct TextWriter<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TextWriter<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        TextWriter { out, error: None }
+    }
+
+    /// Returns the first I/O error encountered while writing, if any.
+    /// Sinks cannot propagate errors through [`TraceSink::record`], so
+    /// failures are latched here.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for TextWriter<W> {
+    fn record(&mut self, rec: &Record) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{}", format_record(rec)) {
+            self.error = Some(e);
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Renders a full trace to a string.
+pub fn to_text(records: &[Record]) -> String {
+    let mut s = String::new();
+    for r in records {
+        s.push_str(&format_record(r));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses a full text trace.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minic_trace::ParseTraceError> {
+/// let recs = minic_trace::text::from_text("Checkpoint: 12\nInstr: 4002a0 addr: 7fff5934 wr\n")?;
+/// assert_eq!(recs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_text(text: &str) -> Result<Vec<Record>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(rec) = parse_line(line, i as u64 + 1)? {
+            out.push(rec);
+        }
+    }
+    Ok(out)
+}
+
+/// Streams records out of a buffered reader, parsing lazily.
+#[derive(Debug)]
+pub struct TextReader<R: BufRead> {
+    input: R,
+    lineno: u64,
+    buf: String,
+}
+
+impl<R: BufRead> TextReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(input: R) -> Self {
+        TextReader { input, lineno: 0, buf: String::new() }
+    }
+}
+
+impl<R: BufRead> Iterator for TextReader<R> {
+    type Item = Result<Record, ParseTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.lineno += 1;
+            match self.input.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => match parse_line(&self.buf, self.lineno) {
+                    Ok(Some(rec)) => return Some(Ok(rec)),
+                    Ok(None) => continue,
+                    Err(e) => return Some(Err(e)),
+                },
+                Err(e) => {
+                    return Some(Err(ParseTraceError {
+                        line: self.lineno,
+                        msg: format!("i/o error: {e}"),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::CheckpointKind;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::checkpoint(4, CheckpointKind::LoopBegin),
+            Record::checkpoint(4, CheckpointKind::BodyBegin),
+            Record::access(0x4002a0, 0x7fff5934, AccessKind::Write),
+            Record::access(0x4002a4, 0x10000010, AccessKind::Read),
+            Record::checkpoint(4, CheckpointKind::BodyEnd),
+        ]
+    }
+
+    #[test]
+    fn matches_paper_format() {
+        let rec = Record::access(0x4002a0, 0x7fff5934, AccessKind::Write);
+        assert_eq!(format_record(&rec), "Instr: 4002a0 addr: 7fff5934 wr");
+        // Loop 4, LoopBegin → 3*4+0 = 12, matching Fig 4's "Checkpoint: 12".
+        let rec = Record::checkpoint(4, CheckpointKind::LoopBegin);
+        assert_eq!(format_record(&rec), "Checkpoint: 12");
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = sample();
+        let text = to_text(&recs);
+        assert_eq!(from_text(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn streaming_reader_round_trip() {
+        let recs = sample();
+        let text = to_text(&recs);
+        let reader = TextReader::new(text.as_bytes());
+        let parsed: Result<Vec<_>, _> = reader.collect();
+        assert_eq!(parsed.unwrap(), recs);
+    }
+
+    #[test]
+    fn writer_sink_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = TextWriter::new(&mut buf);
+            for r in sample() {
+                w.record(&r);
+            }
+            w.finish();
+            assert!(w.io_error().is_none());
+        }
+        let parsed = from_text(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let recs = from_text("\nCheckpoint: 0\n\n").unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn reports_malformed_lines() {
+        assert!(from_text("Checkpoint: x").is_err());
+        assert!(from_text("Instr: zz addr: 10 rd").is_err());
+        assert!(from_text("Instr: 10 addr: 10 rw").is_err());
+        assert!(from_text("garbage").is_err());
+        let e = from_text("Checkpoint: 0\ngarbage").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}
+
+#[cfg(test)]
+mod reader_edge_tests {
+    use super::*;
+
+    #[test]
+    fn reader_stops_at_first_error_and_reports_line() {
+        let text = "Checkpoint: 0\nCheckpoint: 1\nbroken line\n";
+        let reader = TextReader::new(text.as_bytes());
+        let results: Vec<_> = reader.collect();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        let err = results[2].as_ref().unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn reader_skips_interior_blank_lines() {
+        let text = "Checkpoint: 0\n\n\nCheckpoint: 1\n";
+        let reader = TextReader::new(text.as_bytes());
+        let n = reader.filter(|r| r.is_ok()).count();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseTraceError { line: 7, msg: "bad".into() };
+        assert_eq!(e.to_string(), "trace line 7: bad");
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let r = parse_line("  Checkpoint:   12  ", 1).unwrap().unwrap();
+        assert!(matches!(r, Record::Checkpoint { .. }));
+    }
+}

@@ -1,0 +1,150 @@
+//! `adpcmc` — IMA ADPCM encoder (the paper's `adpcm` analogue).
+//!
+//! The paper's most extreme data point: two loops, a **single** reference
+//! in the FORAY model, and 100% of it not in FORAY form in the source. The
+//! encoder is one `while` loop over samples whose only regular reference is
+//! the output-code pointer walk; the quantizer state tables (`steptab`,
+//! `indextab`) are indexed by data-dependent state, and the small
+//! delta table initialized by the lone `for` loop is filtered by `Nloc`.
+//!
+//! Deviation from MiBench: codes are emitted one byte each instead of
+//! nibble-packed. Packing advances the output pointer every *second*
+//! iteration, giving a non-integral per-iteration stride that Algorithm 3
+//! (correctly) rejects; byte emission keeps the reference analyzable while
+//! preserving the walk itself.
+
+use crate::{Params, Workload};
+use std::fmt::Write as _;
+
+/// The standard IMA ADPCM step-size table (89 entries).
+pub const IMA_STEP_TABLE: [i64; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// The standard IMA index-adjustment table (8 entries, mirrored by sign).
+pub const IMA_INDEX_TABLE: [i64; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Builds the workload. `params.scale` multiplies the sample count
+/// (scale 1 → 4096 samples).
+pub fn workload(params: Params) -> Workload {
+    let n = 4096usize * params.scale as usize;
+    let steps = {
+        let mut s = String::new();
+        for (i, v) in IMA_STEP_TABLE.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{v}");
+        }
+        s
+    };
+    let indexes = {
+        let mut s = String::new();
+        for (i, v) in IMA_INDEX_TABLE.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{v}");
+        }
+        s
+    };
+    let source = TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@NO@", &n.to_string())
+        .replace("@STEPS@", &steps)
+        .replace("@INDEXES@", &indexes);
+    Workload {
+        name: "adpcmc",
+        description: "IMA ADPCM encoder: one while loop, one pointer-walk output reference",
+        source,
+        inputs: crate::input::audio(0xadbc_0006, n),
+    }
+}
+
+const TEMPLATE: &str = r#"
+int steptab[89] = { @STEPS@ };
+int indextab[8] = { @INDEXES@ };
+int deltatab[8];
+char outbuf[@NO@];
+
+void main() {
+    int i; int n; int val; int sign; int diff; int step;
+    int valpred; int index; int code; int delta;
+    char *outp;
+    for (i = 0; i < 8; i++) { deltatab[i] = i * 2 + 1; }
+    outp = outbuf;
+    valpred = 0;
+    index = 0;
+    n = 0;
+    while (n < @N@) {
+        val = input(n);
+        step = steptab[index];
+        diff = val - valpred;
+        if (diff < 0) { sign = 8; diff = 0 - diff; } else { sign = 0; }
+        code = 0;
+        if (diff >= step) { code = 4; diff -= step; }
+        if (diff >= step / 2) { code += 2; diff -= step / 2; }
+        if (diff >= step / 4) { code += 1; }
+        delta = step * deltatab[code & 7] / 8;
+        if (sign > 0) { valpred -= delta; } else { valpred += delta; }
+        if (valpred > 32767) { valpred = 32767; }
+        if (valpred < -32768) { valpred = 0 - 32768; }
+        code += sign;
+        index += indextab[code & 7];
+        if (index < 0) { index = 0; }
+        if (index > 88) { index = 88; }
+        *outp++ = code & 15;
+        n++;
+    }
+    print_int(valpred);
+    print_int(index);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foray::report::{loop_kinds, LoopKind};
+
+    #[test]
+    fn compiles_and_runs() {
+        let out = workload(Params::default()).run().expect("adpcmc runs");
+        assert_eq!(out.sim.printed.len(), 2);
+    }
+
+    #[test]
+    fn exactly_one_model_reference_the_pointer_walk() {
+        let out = workload(Params::default()).run().expect("adpcmc runs");
+        assert_eq!(out.model.ref_count(), 1, "{}", out.code);
+        let r = &out.model.refs[0];
+        // Writes one code per sample, byte-strided.
+        assert_eq!(r.terms.len(), 1);
+        assert_eq!(r.terms[0].coeff, 1);
+        assert!(r.writes > 0 && r.reads == 0);
+    }
+
+    #[test]
+    fn loop_mix_is_one_for_one_while() {
+        let w = workload(Params::default());
+        let prog = minic::frontend(&w.source).unwrap();
+        let kinds = loop_kinds(&prog);
+        assert_eq!(kinds.len(), 2);
+        assert_eq!(kinds.values().filter(|k| **k == LoopKind::For).count(), 1);
+        assert_eq!(kinds.values().filter(|k| **k == LoopKind::While).count(), 1);
+    }
+
+    #[test]
+    fn tracks_signal_with_bounded_error() {
+        // ADPCM is lossy but the predictor must roughly track the signal.
+        let w = workload(Params::default());
+        let last = *w.inputs.last().unwrap();
+        let out = w.run().expect("adpcmc runs");
+        let valpred = out.sim.printed[0];
+        assert!((valpred - last).abs() < 2048, "valpred {valpred} vs last sample {last}");
+    }
+}

@@ -1,0 +1,179 @@
+//! `gsmc` — GSM-style LPC speech encoder (the paper's `gsm` analogue).
+//!
+//! The paper reports `gsm` with the *largest* share of model references not
+//! in FORAY form (74%): most of its hot loops walk the signal through
+//! frame offsets carried in function arguments and pointers. This analogue
+//! mirrors that: offset compensation via a `while`-driven pointer walk,
+//! autocorrelation and long-term-prediction correlation over
+//! argument-offset windows (statically invisible, dynamically affine), a
+//! long-term-prediction residual over a data-dependent best lag (a partial
+//! affine expression), a windowing helper whose two call sites *within one
+//! loop body* interleave (collapsing the signal read's window to zero,
+//! exactly per Step 6 of Algorithm 3), and small coefficient arrays
+//! (`acf`, `refl`, `lar`) that Step 4's `Nloc` filter drops — the paper's
+//! rationale for that filter.
+
+use crate::{Params, Workload};
+
+/// Builds the workload. `params.scale` multiplies the frame count
+/// (scale 1 → 24 frames of 160 samples).
+pub fn workload(params: Params) -> Workload {
+    let frames = 24usize * params.scale as usize;
+    let ns = frames * 160;
+    let source = TEMPLATE
+        .replace("@NS@", &ns.to_string())
+        .replace("@FRAMES@", &frames.to_string());
+    Workload {
+        name: "gsmc",
+        description: "GSM-style LPC encoder: autocorrelation, Schur recursion, LTP search",
+        source,
+        inputs: crate::input::audio(0x65a1_0005, ns),
+    }
+}
+
+const TEMPLATE: &str = r#"
+int pcm[@NS@];
+int acf[9];
+int refl[8];
+int lar[8];
+int ltp_out[@FRAMES@];
+int weights[40];
+int win_g[40];
+
+void make_win() {
+    int i;
+    for (i = 0; i < 40; i++) { win_g[i] = (i * 7) % 32 + 16; }
+}
+
+void load() {
+    int i;
+    for (i = 0; i < @NS@; i++) { pcm[i] = input(i); }
+}
+
+void preprocess(int off) {
+    int i; int so; int prev;
+    int *p;
+    p = pcm;
+    p = p + off;
+    prev = 0;
+    i = 0;
+    while (i < 160) {
+        so = *p;
+        *p++ = so - prev / 2;
+        prev = so;
+        i++;
+    }
+}
+
+void autocorr(int off) {
+    int k; int i; int sum;
+    for (k = 0; k < 9; k++) {
+        sum = 0;
+        for (i = 0; i < 151; i++) {
+            sum += pcm[off + i] * pcm[off + i + k] / 64;
+        }
+        acf[k] = sum / 16;
+    }
+}
+
+void reflect() {
+    int n; int num; int den;
+    n = 0;
+    while (n < 8) {
+        den = abs(acf[0]) + 1;
+        num = acf[n + 1];
+        refl[n] = num * 256 / den;
+        lar[n] = refl[n] / 2;
+        n++;
+    }
+}
+
+int ltp(int off) {
+    int lag; int best; int bestlag; int corr; int j;
+    best = 0 - 1000000000;
+    bestlag = 40;
+    lag = 40;
+    while (lag < 120) {
+        corr = 0;
+        for (j = 0; j < 40; j++) {
+            corr += pcm[off + 120 + j] / 8 * (pcm[off + 120 + j - lag] / 8);
+        }
+        if (corr > best) { best = corr; bestlag = lag; }
+        lag++;
+    }
+    return bestlag;
+}
+
+int ltp_residual(int off, int bestlag) {
+    int j; int r;
+    r = 0;
+    for (j = 0; j < 40; j++) {
+        r += abs(pcm[off + 120 + j] - pcm[off + 120 + j - bestlag]);
+    }
+    return r;
+}
+
+void apply_window(int off) {
+    int i;
+    for (i = 0; i < 40; i++) {
+        weights[i] = pcm[off + i] * win_g[i] / 256;
+    }
+}
+
+void main() {
+    int f; int off; int bl;
+    make_win();
+    load();
+    for (f = 0; f < @FRAMES@; f++) {
+        off = f * 160;
+        preprocess(off);
+        autocorr(off);
+        reflect();
+        bl = ltp(off);
+        ltp_out[f] = bl + ltp_residual(off, bl) / 1024;
+        apply_window(off);
+        apply_window(off + 80);
+    }
+    print_int(ltp_out[0]);
+    print_int(lar[3]);
+    print_int(weights[5]);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_and_runs() {
+        let out = workload(Params::default()).run().expect("gsmc runs");
+        assert_eq!(out.sim.printed.len(), 3);
+    }
+
+    #[test]
+    fn small_coefficient_arrays_are_filtered() {
+        let out = workload(Params::default()).run().expect("gsmc runs");
+        // acf/refl/lar have < Nloc locations: none may appear in the model.
+        for r in &out.model.refs {
+            assert!(r.footprint >= 10, "leaked small-array ref: {r:?}");
+        }
+    }
+
+    #[test]
+    fn ltp_residual_is_partial_affine() {
+        let out = workload(Params::default()).run().expect("gsmc runs");
+        // pcm[off + 120 + j - bestlag]: bestlag changes per frame in a
+        // data-dependent way, so the expression is partial over j only.
+        assert!(
+            out.model.refs.iter().any(|r| r.is_partial() && r.window == 1),
+            "expected at least one partial reference\n{}",
+            out.code
+        );
+    }
+
+    #[test]
+    fn majority_of_model_refs_are_pointer_or_offset_based() {
+        let out = workload(Params::default()).run().expect("gsmc runs");
+        assert!(out.model.ref_count() >= 6, "{}", out.code);
+    }
+}

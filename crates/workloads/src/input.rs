@@ -1,0 +1,101 @@
+//! Deterministic input-data generation for the workloads.
+//!
+//! Programs pull data through the simulator's `input(i)` builtin; these
+//! helpers synthesize the backing vectors. Everything is seeded xorshift —
+//! repeated runs (and CI) see identical traces.
+
+/// Deterministic 64-bit xorshift generator.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator from a non-zero seed (zero is mapped to 1).
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: if seed == 0 { 1 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// `n` pseudo-random samples in `0..bound`.
+pub fn uniform(seed: u64, n: usize, bound: u64) -> Vec<i64> {
+    let mut rng = XorShift::new(seed);
+    (0..n).map(|_| rng.below(bound) as i64).collect()
+}
+
+/// A smooth "image-like" signal: base gradient plus texture noise, values
+/// in 0..256. Useful for the jpeg/susan workloads.
+pub fn image(seed: u64, width: usize, height: usize) -> Vec<i64> {
+    let mut rng = XorShift::new(seed);
+    let mut out = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let gradient = (x * 255 / width.max(1) + y * 255 / height.max(1)) / 2;
+            let noise = rng.below(32) as usize;
+            out.push(((gradient + noise) % 256) as i64);
+        }
+    }
+    out
+}
+
+/// An "audio-like" signal: a few mixed square/triangle harmonics plus
+/// noise, values in −2048..2048. Useful for lame/gsm/adpcm.
+pub fn audio(seed: u64, n: usize) -> Vec<i64> {
+    let mut rng = XorShift::new(seed);
+    (0..n)
+        .map(|i| {
+            let tri = {
+                let p = (i % 64) as i64;
+                if p < 32 { p * 64 } else { (64 - p) * 64 }
+            };
+            let square = if (i / 96) % 2 == 0 { 512 } else { -512 };
+            let noise = rng.below(256) as i64 - 128;
+            (tri - 1024 + square + noise).clamp(-2047, 2047)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(uniform(7, 16, 100), uniform(7, 16, 100));
+        assert_eq!(audio(9, 64), audio(9, 64));
+        assert_eq!(image(3, 8, 8), image(3, 8, 8));
+    }
+
+    #[test]
+    fn ranges() {
+        assert!(uniform(1, 1000, 50).iter().all(|v| (0..50).contains(v)));
+        assert!(image(1, 16, 16).iter().all(|v| (0..256).contains(v)));
+        assert!(audio(1, 1000).iter().all(|v| (-2048..2048).contains(v)));
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut rng = XorShift::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform(1, 32, 1000), uniform(2, 32, 1000));
+    }
+}

@@ -1,0 +1,203 @@
+//! `jpegc` — JPEG-style image compressor (the paper's `jpeg` analogue).
+//!
+//! Reproduces the benchmark's characteristic access-pattern mix, including
+//! both excerpts of the paper's Fig. 1 verbatim in spirit:
+//!
+//! * the component/coefficient initialization `*last_bitpos_ptr++ = -1`;
+//! * the row-pointer indexing `result[currow++] = workspace` inside a
+//!   `while`/`for` combination;
+//! * blocked 8×8 DCT with the block base address flowing through a function
+//!   argument and a pointer (`p[W*v + u]`) — invisible statically,
+//!   recovered as a *full* affine reference dynamically because the block
+//!   coordinates are themselves loop iterators (`while`/`do` loops);
+//! * quantization through a zigzag permutation (`coef[zigzag[i]]`) and a
+//!   histogram (`hist[...]`) — genuinely data-dependent, outside any FORAY
+//!   model;
+//! * canonical table/loop code that even the static baseline sees.
+
+use crate::{Params, Workload};
+
+/// Builds the workload. `params.scale` multiplies the image size
+/// (scale 1 → 32×24, scale 2 → 64×48, ...).
+pub fn workload(params: Params) -> Workload {
+    let bw = 4usize * params.scale as usize; // blocks across
+    let bh = 3usize * params.scale as usize; // blocks down
+    let (w, h) = (8 * bw, 8 * bh);
+    let n = w * h;
+    let rows_per_chunk = 4;
+    assert_eq!(h % rows_per_chunk, 0, "row chunking requires h % 4 == 0");
+
+    let source = TEMPLATE
+        .replace("@N@", &n.to_string())
+        .replace("@W@", &w.to_string())
+        .replace("@H@", &h.to_string())
+        .replace("@BW@", &bw.to_string())
+        .replace("@BH@", &bh.to_string())
+        .replace("@BITS@", &(3 * 64).to_string())
+        .replace("@RPC@", &rows_per_chunk.to_string());
+
+    Workload {
+        name: "jpegc",
+        description: "JPEG-style blocked DCT + quantization image compressor",
+        source,
+        inputs: crate::input::image(0x17e6_0001, w, h),
+    }
+}
+
+const TEMPLATE: &str = r#"
+int image[@N@];
+int outcoef[@N@];
+int rowdc[@H@];
+int coef[64];
+int tmpb[64];
+int qtab[64];
+int costab[64];
+int zigzag[64];
+int bits[@BITS@];
+int hist[256];
+int *last_bitpos_ptr;
+int *rowptr[@H@];
+int currow;
+
+void make_tables() {
+    int i;
+    for (i = 0; i < 64; i++) { qtab[i] = 1 + i % 8 + i / 8; }
+    for (i = 0; i < 64; i++) { costab[i] = (i * 37 + 11) % 128 - 64; }
+    for (i = 0; i < 64; i++) { zigzag[i] = (i * 19 + 5) % 64; }
+}
+
+void init_bitpos() {
+    int ci; int coefi;
+    last_bitpos_ptr = bits;
+    for (ci = 0; ci < 3; ci++) {
+        for (coefi = 0; coefi < 64; coefi++) {
+            *last_bitpos_ptr++ = -1;
+        }
+    }
+}
+
+void load_image() {
+    int i;
+    for (i = 0; i < @N@; i++) { image[i] = input(i); }
+}
+
+void index_rows() {
+    int i;
+    currow = 0;
+    while (currow < @H@) {
+        for (i = @RPC@; i > 0; i--) {
+            rowptr[currow] = &image[currow * @W@];
+            currow++;
+        }
+    }
+}
+
+void row_dc() {
+    int r; int c; int s;
+    int *rp;
+    for (r = 0; r < @H@; r++) {
+        rp = rowptr[r];
+        s = 0;
+        for (c = 0; c < @W@; c++) { s += rp[c]; }
+        rowdc[r] = s / @W@;
+    }
+}
+
+int dct_block(int base) {
+    int u; int v; int k; int s;
+    int *p;
+    p = image;
+    p = p + base;
+    for (v = 0; v < 8; v++) {
+        for (u = 0; u < 8; u++) {
+            coef[8 * v + u] = p[@W@ * v + u];
+        }
+    }
+    for (v = 0; v < 8; v++) {
+        for (u = 0; u < 8; u++) {
+            s = 0;
+            for (k = 0; k < 8; k++) { s += coef[8 * v + k] * costab[8 * u + k]; }
+            tmpb[8 * v + u] = s / 64;
+        }
+    }
+    for (u = 0; u < 8; u++) {
+        for (v = 0; v < 8; v++) {
+            s = 0;
+            for (k = 0; k < 8; k++) { s += tmpb[8 * k + u] * costab[8 * v + k]; }
+            coef[8 * v + u] = s / 64;
+        }
+    }
+    return coef[0];
+}
+
+void quantize_block(int obase) {
+    int i; int q; int z;
+    int *op;
+    op = outcoef;
+    op = op + obase;
+    for (i = 0; i < 64; i++) {
+        z = zigzag[i];
+        q = coef[z] / qtab[i];
+        *op++ = q;
+        hist[abs(q) % 256] += 1;
+    }
+}
+
+void main() {
+    int bx; int by; int base;
+    make_tables();
+    init_bitpos();
+    load_image();
+    index_rows();
+    row_dc();
+    by = 0;
+    while (by < @BH@) {
+        bx = 0;
+        do {
+            base = by * 8 * @W@ + bx * 8;
+            dct_block(base);
+            quantize_block(by * @BW@ * 64 + bx * 64);
+            bx++;
+        } while (bx < @BW@);
+        by++;
+    }
+    print_int(outcoef[0]);
+    print_int(rowdc[1]);
+    print_int(hist[0]);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_and_runs() {
+        let w = workload(Params::default());
+        let out = w.run().expect("jpegc runs");
+        assert_eq!(out.sim.printed.len(), 3);
+        assert!(out.sim.accesses > 10_000);
+    }
+
+    #[test]
+    fn model_mixes_static_and_dynamic_only_references() {
+        let w = workload(Params::default());
+        let out = w.run().expect("jpegc runs");
+        assert!(out.model.ref_count() >= 8, "model: {}", out.code);
+        // The pointer-based block load p[W*v+u] must be recovered as a
+        // full affine reference spanning the while/do block loops.
+        let has_deep_full = out
+            .model
+            .refs
+            .iter()
+            .any(|r| !r.is_partial() && r.nest >= 4 && r.terms.len() >= 3);
+        assert!(has_deep_full, "expected a deep full-affine pointer reference\n{}", out.code);
+    }
+
+    #[test]
+    fn scales_with_params() {
+        let small = workload(Params::default());
+        let big = workload(Params { scale: 2 });
+        assert!(big.inputs.len() > small.inputs.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! # foray-workloads — MiBench-style benchmarks for the FORAY-GEN
+//! reproduction
+//!
+//! The paper evaluates on six MiBench programs (`jpeg`, `lame`, `susan`,
+//! `fft`, `gsm`, `adpcm`). MiBench's C sources cannot be vendored into this
+//! workspace, so this crate provides six mini-C programs implementing the
+//! same algorithm families with the same *access-pattern character* — the
+//! property the evaluation actually depends on (see `DESIGN.md` §2):
+//!
+//! | Workload | Algorithm | Character |
+//! |---|---|---|
+//! | [`jpegc`] | blocked DCT + quantization | `while`/`do` block loops, pointer walks, Fig. 1 idioms |
+//! | [`lamec`] | polyphase subband filterbank | `do` frame loop, two-context helper (Fig. 9), data-dependent psycho stage |
+//! | [`susanc`] | 5×5 LUT-weighted smoothing | row-pointer stencil dominating accesses, `while` borders |
+//! | [`fftc`] | fixed-point radix-2 FFT | pure canonical `for` loops; butterflies indexed through ROM schedule |
+//! | [`gsmc`] | LPC speech encoder | argument-offset windows, partial affine LTP, small filtered arrays |
+//! | [`adpcmc`] | IMA ADPCM coder | one `while` loop, one pointer-walk reference, data-dependent tables |
+//!
+//! # Examples
+//!
+//! ```no_run
+//! # fn main() -> Result<(), foray::PipelineError> {
+//! for w in foray_workloads::all(foray_workloads::Params::default()) {
+//!     let out = w.run()?;
+//!     println!("{}: {} refs in FORAY model", w.name, out.model.ref_count());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adpcmc;
+pub mod fftc;
+pub mod gsmc;
+pub mod input;
+pub mod jpegc;
+pub mod lamec;
+pub mod susanc;
+
+/// Workload sizing knob. `scale = 1` keeps every program small enough for
+/// debug-mode test runs; benches use larger scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Linear size multiplier (see each workload's docs for what it
+    /// scales).
+    pub scale: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { scale: 1 }
+    }
+}
+
+/// A ready-to-profile benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short identifier (`jpegc`, `lamec`, ...).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// mini-C source text.
+    pub source: String,
+    /// Data served to the program's `input(i)` builtin.
+    pub inputs: Vec<i64>,
+}
+
+impl Workload {
+    /// Runs the full FORAY-GEN pipeline on this workload with paper-default
+    /// filter thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`foray::PipelineError`] (a workload that fails here is a
+    /// bug in this crate).
+    pub fn run(&self) -> Result<foray::ForayGenOutput, foray::PipelineError> {
+        self.run_with(foray::ForayGen::new())
+    }
+
+    /// Runs with a caller-configured pipeline (custom filter thresholds,
+    /// simulator settings, ...). The workload's inputs are installed on top.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`foray::PipelineError`].
+    pub fn run_with(
+        &self,
+        pipeline: foray::ForayGen,
+    ) -> Result<foray::ForayGenOutput, foray::PipelineError> {
+        pipeline.inputs(self.inputs.clone()).run_source(&self.source)
+    }
+
+    /// Parses, checks, and instruments the source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`minic::Error`].
+    pub fn frontend(&self) -> Result<minic::Program, minic::Error> {
+        minic::frontend(&self.source)
+    }
+}
+
+/// All six workloads at the given size.
+pub fn all(params: Params) -> Vec<Workload> {
+    vec![
+        jpegc::workload(params),
+        lamec::workload(params),
+        susanc::workload(params),
+        fftc::workload(params),
+        gsmc::workload(params),
+        adpcmc::workload(params),
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str, params: Params) -> Option<Workload> {
+    all(params).into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_named_consistently() {
+        let ws = all(Params::default());
+        assert_eq!(ws.len(), 6);
+        let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["jpegc", "lamec", "susanc", "fftc", "gsmc", "adpcmc"]);
+        for n in names {
+            assert!(by_name(n, Params::default()).is_some());
+        }
+        assert!(by_name("nope", Params::default()).is_none());
+    }
+
+    #[test]
+    fn all_workloads_pass_the_frontend() {
+        for w in all(Params::default()) {
+            w.frontend().unwrap_or_else(|e| panic!("{} does not compile: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn sources_are_nontrivial() {
+        for w in all(Params::default()) {
+            let counts = minic::count_lines(&w.source);
+            assert!(counts.code >= 30, "{} is suspiciously small", w.name);
+            assert!(!w.inputs.is_empty(), "{} has no input data", w.name);
+        }
+    }
+}

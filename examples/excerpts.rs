@@ -1,0 +1,70 @@
+//! The paper's Fig. 1 → Fig. 2 transformation: two code excerpts from the
+//! `jpeg` benchmark that existing static techniques cannot analyze, and the
+//! FORAY models FORAY-GEN extracts for them.
+//!
+//! ```text
+//! cargo run --example excerpts
+//! ```
+
+use foray::{FilterConfig, ForayGen};
+
+/// First Fig. 1 excerpt: component/coefficient initialization through a
+/// walking pointer.
+const EXCERPT_1: &str = "int last_bitpos[192];
+int *last_bitpos_ptr;
+void main() {
+    int ci; int coefi;
+    last_bitpos_ptr = last_bitpos;
+    for (ci = 0; ci < 3; ci++) {
+        for (coefi = 0; coefi < 64; coefi++) {
+            *last_bitpos_ptr++ = -1;
+        }
+    }
+}";
+
+/// Second Fig. 1 excerpt: row-pointer table filled inside a while/for
+/// combination (`result[currow++] = workspace`).
+const EXCERPT_2: &str = "int workspace[1024];
+int *result[16];
+int currow;
+void main() {
+    int i;
+    currow = 0;
+    while (currow < 16) {
+        for (i = 4; i > 0; i--) {
+            result[currow] = workspace;
+            currow++;
+        }
+    }
+}";
+
+fn show(title: &str, src: &str, filter: FilterConfig) -> Result<(), foray::PipelineError> {
+    println!("== {title} ==\n{src}\n");
+    let out = ForayGen::new().filter(filter).run_source(src)?;
+    println!("-- static view: none of this is in FORAY form --");
+    let mut prog = minic::parse(src).expect("parses");
+    minic::check(&mut prog).expect("checks");
+    let static_view = foray_baseline::analyze_program(&prog);
+    println!(
+        "   canonical for loops: {} of {}, affine array sites: {}",
+        static_view.canonical_loops.len(),
+        static_view.total_loops,
+        static_view.affine_sites.len()
+    );
+    println!("-- FORAY model extracted dynamically --\n{}", out.code);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 192 writes over 192 locations: the default filter keeps it.
+    show("Fig 1a: *last_bitpos_ptr++ = -1", EXCERPT_1, FilterConfig::default())?;
+    // 16 writes over 16 locations: relax Nexec slightly (the paper's
+    // figures show the unfiltered model).
+    show(
+        "Fig 1b: result[currow++] = workspace",
+        EXCERPT_2,
+        FilterConfig { n_exec: 16, n_loc: 10 },
+    )?;
+    println!("Both excerpts became pure for-loops over affine array references (cf. Fig 2).");
+    Ok(())
+}

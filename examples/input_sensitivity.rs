@@ -1,0 +1,47 @@
+//! Input-data sensitivity of the FORAY model — the paper's stated future
+//! work ("our future work will study the interdependency of the FORAY
+//! models on the input data set used for profiling").
+//!
+//! Profiles every workload under two different input sets and diffs the
+//! extracted models: a reference is *stable* if its affine terms survive an
+//! input change (constant-only drift still permits the same buffering
+//! decision).
+//!
+//! ```text
+//! cargo run --example input_sensitivity
+//! ```
+
+use foray_workloads::{all, input, Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "bench", "matching", "const-only", "changed", "only-A", "only-B", "stability"
+    );
+    for workload in all(Params::default()) {
+        let out_a = workload.run()?;
+
+        // Second profile under shifted inputs of the same character.
+        let mut alt = workload.clone();
+        let n = alt.inputs.len();
+        alt.inputs = match workload.name {
+            "jpegc" | "susanc" => input::image(0xbeef, n, 1),
+            _ => input::audio(0xbeef, n),
+        };
+        let out_b = alt.run()?;
+
+        let diff = out_a.model.diff(&out_b.model);
+        println!(
+            "{:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9.1}%",
+            workload.name,
+            diff.matching,
+            diff.constant_only,
+            diff.changed,
+            diff.only_left,
+            diff.only_right,
+            100.0 * diff.stability()
+        );
+    }
+    println!("\nStability = fraction of references whose affine terms survive the input change.");
+    Ok(())
+}

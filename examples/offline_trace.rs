@@ -1,0 +1,62 @@
+//! The offline analysis mode: profile to a trace *file* (the paper's
+//! Fig. 4(c) text format), then read it back and analyze — the workflow the
+//! paper describes before noting that online analysis makes the
+//! "typically large" trace file unnecessary.
+//!
+//! ```text
+//! cargo run --example offline_trace
+//! ```
+
+use foray::{Analyzer, FilterConfig, ForayModel};
+use minic_trace::text::{TextReader, TextWriter};
+use minic_trace::TraceSink as _;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = "int hist[128]; int data[512];
+        void main() {
+            int i; int pass;
+            for (i = 0; i < 512; i++) { data[i] = input(i); }
+            pass = 0;
+            while (pass < 8) {
+                for (i = 0; i < 512; i++) { hist[i % 128] += data[i]; }
+                pass++;
+            }
+        }";
+    let inputs: Vec<i64> = (0..512).map(|i| (i * 37) % 256).collect();
+
+    // Step 2 (offline flavour): profile into a trace file on disk.
+    let path = std::env::temp_dir().join("foray_offline_demo.trace");
+    let prog = minic::frontend(src)?;
+    {
+        let file = std::fs::File::create(&path)?;
+        let mut writer = TextWriter::new(BufWriter::new(file));
+        minic_sim::run_with_sink(&prog, &minic_sim::SimConfig::default(), &inputs, &mut writer)?;
+        writer.finish();
+        if let Some(e) = writer.io_error() {
+            return Err(format!("trace write failed: {e}").into());
+        }
+    }
+    let size = std::fs::metadata(&path)?.len();
+    println!("trace file: {} ({size} bytes)", path.display());
+
+    // Step 3 (offline): stream the file back through the analyzer without
+    // materializing it in memory.
+    let mut analyzer = Analyzer::new();
+    let reader = TextReader::new(BufReader::new(std::fs::File::open(&path)?));
+    let mut records = 0u64;
+    for rec in reader {
+        analyzer.record(&rec?);
+        records += 1;
+    }
+    println!("replayed {records} records");
+
+    let analysis = analyzer.into_analysis();
+    let model = ForayModel::extract(&analysis, &FilterConfig::default());
+    println!("\nFORAY model from the trace file:\n{}", foray::codegen::emit(&model));
+
+    // The data[i] scan is affine; hist[i % 128] is not (and is excluded).
+    assert!(model.refs.iter().any(|r| !r.terms.is_empty()));
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

