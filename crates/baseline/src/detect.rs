@@ -79,12 +79,8 @@ pub fn analyze_program(prog: &Program) -> StaticAnalysis {
             out.total_access_sites += 1;
         }
     });
-    let arrays: HashSet<&str> = prog
-        .globals
-        .iter()
-        .filter(|g| g.array_len.is_some())
-        .map(|g| g.name.as_str())
-        .collect();
+    let arrays: HashSet<&str> =
+        prog.globals.iter().filter(|g| g.array_len.is_some()).map(|g| g.name.as_str()).collect();
     for f in &prog.functions {
         let mut env = IterEnv::new();
         // `all_canonical` tracks whether every enclosing loop is canonical;
@@ -165,14 +161,12 @@ fn walk_stmt(
                 scan_expr(value, env, arrays, out);
             }
         }
-        Stmt::Expr(e) | Stmt::Return(Some(e))
-            if all_canonical => {
-                scan_expr(e, env, arrays, out);
-            }
-        Stmt::LocalDecl { init: Some(e), .. }
-            if all_canonical => {
-                scan_expr(e, env, arrays, out);
-            }
+        Stmt::Expr(e) | Stmt::Return(Some(e)) if all_canonical => {
+            scan_expr(e, env, arrays, out);
+        }
+        Stmt::LocalDecl { init: Some(e), .. } if all_canonical => {
+            scan_expr(e, env, arrays, out);
+        }
         _ => {}
     }
 }
@@ -209,9 +203,11 @@ fn canonical_iterator(
 ) -> Option<String> {
     let iv = match init? {
         Stmt::LocalDecl { name, init: Some(Expr::IntLit(_)), array_len: None, .. } => name.clone(),
-        Stmt::Assign { target: Expr::Var { name, .. }, op: minic::AssignOp::Set, value: Expr::IntLit(_) } => {
-            name.clone()
-        }
+        Stmt::Assign {
+            target: Expr::Var { name, .. },
+            op: minic::AssignOp::Set,
+            value: Expr::IntLit(_),
+        } => name.clone(),
         _ => return None,
     };
     // Condition: iv <op> constant.
@@ -389,9 +385,8 @@ mod tests {
 
     #[test]
     fn declared_iterator_form() {
-        let r = analyze_src(
-            "int a[64]; void main() { for (int i = 0; i < 64; i += 2) { a[i] = 0; } }",
-        );
+        let r =
+            analyze_src("int a[64]; void main() { for (int i = 0; i < 64; i += 2) { a[i] = 0; } }");
         assert_eq!(r.canonical_loops.len(), 1);
         assert_eq!(r.affine_sites.len(), 1);
     }
@@ -453,18 +448,16 @@ mod tests {
 
     #[test]
     fn constant_index_does_not_count() {
-        let r = analyze_src(
-            "int a[64]; void main() { int i; for (i = 0; i < 64; i++) { a[5] = i; } }",
-        );
+        let r =
+            analyze_src("int a[64]; void main() { int i; for (i = 0; i < 64; i++) { a[5] = i; } }");
         assert_eq!(r.canonical_loops.len(), 1);
         assert!(r.affine_sites.is_empty(), "constant index has no reuse over iterators");
     }
 
     #[test]
     fn instr_addr_join() {
-        let r = analyze_src(
-            "int a[64]; void main() { int i; for (i = 0; i < 64; i++) { a[i] = 0; } }",
-        );
+        let r =
+            analyze_src("int a[64]; void main() { int i; for (i = 0; i < 64; i++) { a[i] = 0; } }");
         let instrs = r.affine_instrs();
         assert_eq!(instrs.len(), 1);
         let site = *r.affine_sites.iter().next().unwrap();

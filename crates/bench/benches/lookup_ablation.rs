@@ -33,23 +33,17 @@ fn bench_lookup(c: &mut Criterion) {
     group.sample_size(15);
     for refs in [4u32, 32, 256] {
         let trace = wide_body_trace(refs, 2048 / refs.max(1));
-        let accesses =
-            trace.iter().filter(|r| matches!(r, Record::Access(_))).count() as u64;
+        let accesses = trace.iter().filter(|r| matches!(r, Record::Access(_))).count() as u64;
         group.throughput(Throughput::Elements(accesses));
-        for (name, strategy) in
-            [("hash", LookupStrategy::Hash), ("linear", LookupStrategy::Linear)]
+        for (name, strategy) in [("hash", LookupStrategy::Hash), ("linear", LookupStrategy::Linear)]
         {
-            group.bench_with_input(
-                BenchmarkId::new(name, refs),
-                &trace,
-                |b, t| {
-                    let config = AnalyzerConfig { lookup: strategy, track_footprint: false };
-                    b.iter(|| {
-                        let analysis = analyze_with(black_box(t), config.clone());
-                        black_box(analysis.refs().len())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, refs), &trace, |b, t| {
+                let config = AnalyzerConfig { lookup: strategy, track_footprint: false };
+                b.iter(|| {
+                    let analysis = analyze_with(black_box(t), config.clone());
+                    black_box(analysis.refs().len())
+                });
+            });
         }
     }
     group.finish();

@@ -49,8 +49,7 @@ fn bench_nest_depth(c: &mut Criterion) {
     group.sample_size(20);
     for depth in [1u32, 2, 3, 4, 6] {
         let trace = nest_trace(depth);
-        let accesses =
-            trace.iter().filter(|r| matches!(r, Record::Access(_))).count() as u64;
+        let accesses = trace.iter().filter(|r| matches!(r, Record::Access(_))).count() as u64;
         group.throughput(Throughput::Elements(accesses));
         group.bench_with_input(BenchmarkId::from_parameter(depth), &trace, |b, t| {
             b.iter(|| {

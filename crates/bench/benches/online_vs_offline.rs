@@ -30,8 +30,7 @@ fn bench_modes(c: &mut Criterion) {
     group.bench_function("offline_collect_then_analyze", |b| {
         b.iter(|| {
             let (_, records) =
-                minic_sim::run(black_box(&prog), &SimConfig::default(), &w.inputs)
-                    .expect("runs");
+                minic_sim::run(black_box(&prog), &SimConfig::default(), &w.inputs).expect("runs");
             let analysis = foray::analyze(&records);
             black_box(analysis.refs().len())
         });
@@ -42,8 +41,7 @@ fn bench_modes(c: &mut Criterion) {
         // to the text format and parse back before analyzing.
         b.iter(|| {
             let (_, records) =
-                minic_sim::run(black_box(&prog), &SimConfig::default(), &w.inputs)
-                    .expect("runs");
+                minic_sim::run(black_box(&prog), &SimConfig::default(), &w.inputs).expect("runs");
             let text = minic_trace::text::to_text(&records);
             let parsed = minic_trace::text::from_text(&text).expect("parses");
             let analysis = foray::analyze(&parsed);

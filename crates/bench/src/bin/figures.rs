@@ -118,9 +118,8 @@ fn fig7() -> Result<(), foray::PipelineError> {
     )?;
     print!("{}", out.code);
     println!("\n-- case 2: data-dependent offset parameter --");
-    let out = ForayGen::new()
-        .inputs(vec![0, 700, 160, 2400, 1000, 40, 3333, 90, 2048, 512])
-        .run_source(
+    let out =
+        ForayGen::new().inputs(vec![0, 700, 160, 2400, 1000, 40, 3333, 90, 2048, 512]).run_source(
             "int A[4000]; int sink;
              int foo(int offset) {
                  int ret; int i; int j; ret = 0;

@@ -16,12 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for workload in all(Params::default()) {
         // One profiling run; re-filter the same analysis repeatedly.
-        let out = workload
-            .run_with(ForayGen::new().filter(FilterConfig { n_exec: 1, n_loc: 1 }))?;
+        let out =
+            workload.run_with(ForayGen::new().filter(FilterConfig { n_exec: 1, n_loc: 1 }))?;
         let mut cells = vec![workload.name.to_string()];
         for (n_exec, n_loc) in sweeps {
-            let model =
-                ForayModel::extract(&out.analysis, &FilterConfig { n_exec, n_loc });
+            let model = ForayModel::extract(&out.analysis, &FilterConfig { n_exec, n_loc });
             cells.push(model.ref_count().to_string());
         }
         rows.push(cells);

@@ -10,8 +10,7 @@ use foray_bench::{render_table, run_suite};
 use foray_workloads::Params;
 
 fn main() {
-    let scale: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     let runs = run_suite(Params { scale });
 
     let mut rows = Vec::new();
@@ -32,13 +31,7 @@ fn main() {
         totals.3 += t.do_loops;
     }
     println!("Table I. Benchmark complexity and loop distribution (scale {scale})\n");
-    println!(
-        "{}",
-        render_table(
-            &["benchmark", "lines", "loops", "for", "while", "do"],
-            &rows
-        )
-    );
+    println!("{}", render_table(&["benchmark", "lines", "loops", "for", "while", "do"], &rows));
     let non_for = totals.2 + totals.3;
     println!(
         "non-for loops overall: {:.0}% (paper reports 23% on average)",

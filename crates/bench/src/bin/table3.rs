@@ -10,8 +10,7 @@ use foray_bench::{human, pct, render_table, run_suite};
 use foray_workloads::Params;
 
 fn main() {
-    let scale: u32 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     let runs = run_suite(Params { scale });
 
     let mut rows = Vec::new();

@@ -96,7 +96,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         executable: false,
     };
     let mut it = args.iter();
-    let need = |it: &mut std::slice::Iter<String>, flag: &str| {
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
         it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
     };
     while let Some(a) = it.next() {
@@ -113,9 +113,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .split(',')
                     .filter(|s| !s.is_empty())
                     .map(|s| {
-                        s.trim().parse().map_err(|_| {
-                            CliError::Usage(format!("bad input value `{s}`"))
-                        })
+                        s.trim()
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad input value `{s}`")))
                     })
                     .collect::<Result<_, _>>()?;
             }
@@ -142,8 +142,7 @@ fn parse_num(s: &str) -> Result<u64, CliError> {
 }
 
 fn read_source(path: &str) -> Result<String, CliError> {
-    std::fs::read_to_string(path)
-        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))
+    std::fs::read_to_string(path).map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))
 }
 
 fn pipeline(opts: &Options) -> ForayGen {
@@ -179,18 +178,15 @@ fn cmd_model(src: &str, opts: &Options) -> Result<(), CliError> {
 }
 
 fn cmd_annotate(src: &str) -> Result<(), CliError> {
-    let prog = minic::frontend(src)
-        .map_err(|e| CliError::Compile(e.to_string()))?;
+    let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
     print!("{}", minic::pretty(&prog));
     Ok(())
 }
 
 fn cmd_trace(src: &str, opts: &Options) -> Result<(), CliError> {
-    let prog = minic::frontend(src)
-        .map_err(|e| CliError::Compile(e.to_string()))?;
-    let (_, records) =
-        minic_sim::run(&prog, &minic_sim::SimConfig::default(), &opts.inputs)
-            .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
+    let (_, records) = minic_sim::run(&prog, &minic_sim::SimConfig::default(), &opts.inputs)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     let bytes = match opts.format.as_str() {
         "text" => minic_trace::text::to_text(&records).into_bytes(),
         "binary" => minic_trace::binary::to_bytes(&records),
@@ -318,8 +314,7 @@ mod tests {
         path.to_string_lossy().into_owned()
     }
 
-    const PROG: &str =
-        "int a[64];\nvoid main() { int i; for (i = 0; i < 64; i++) { a[i] = i; } }";
+    const PROG: &str = "int a[64];\nvoid main() { int i; for (i = 0; i < 64; i++) { a[i] = i; } }";
 
     #[test]
     fn model_command_runs() {
@@ -358,10 +353,7 @@ mod tests {
     fn usage_errors() {
         assert!(matches!(run(&[]), Err(CliError::Usage(_))));
         assert!(matches!(run(&["model".to_owned()]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            run(&["bogus".to_owned(), "x".to_owned()]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run(&["bogus".to_owned(), "x".to_owned()]), Err(CliError::Usage(_))));
         let path = write_temp("badflag", PROG);
         assert!(matches!(
             run(&["model".to_owned(), path, "--wat".to_owned()]),
@@ -381,20 +373,16 @@ mod tests {
             "spm",
             "int t[64]; int big[4096];\nvoid main() {\n int i; int j;\n for (i = 0; i < 128; i++) {\n  for (j = 0; j < 64; j++) { big[j] += t[j]; }\n }\n}",
         );
-        let args: Vec<String> = ["spm", path.as_str(), "--capacity", "1024"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["spm", path.as_str(), "--capacity", "1024"].iter().map(|s| s.to_string()).collect();
         assert!(run(&args).is_ok());
     }
 
     #[test]
     fn executable_model_flag() {
         let path = write_temp("exec", PROG);
-        let args: Vec<String> = ["model", path.as_str(), "--executable"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["model", path.as_str(), "--executable"].iter().map(|s| s.to_string()).collect();
         assert!(run(&args).is_ok());
     }
 

@@ -1,0 +1,87 @@
+//! End-to-end smoke test: the paper's Fig. 4 worked example through the
+//! real `foray-gen` binary, guarding the whole frontend → simulator →
+//! analyzer → codegen path and the recovered affine coefficients.
+
+use std::process::Command;
+
+/// Fig. 4(a): pointer-walking nest whose single reference is the affine
+/// function `q + 100 + 1*i_inner + 103*i_outer`.
+const FIGURE_4A: &str = "char q[10000];
+char *ptr;
+void main() {
+    int i;
+    int t1 = 98;
+    ptr = q;
+    while (t1 < 100) {
+        t1++;
+        ptr += 100;
+        for (i = 40; i > 37; i--) {
+            *ptr++ = i * i % 256;
+        }
+    }
+}";
+
+fn write_fixture(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("foray_cli_smoke_{name}.mc"));
+    std::fs::write(&path, FIGURE_4A).unwrap();
+    path
+}
+
+fn foray_gen(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_foray-gen"))
+        .args(args)
+        .output()
+        .expect("foray-gen binary runs")
+}
+
+#[test]
+fn model_command_recovers_figure4_coefficients() {
+    let path = write_fixture("model");
+    let out = foray_gen(&["model", path.to_str().unwrap(), "--nexec", "6", "--nloc", "6"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // One reference, affine in both loops with coefficients 1 (inner) and
+    // 103 (outer) — Fig. 4(d)'s `1*i15 + 103*i12` in our loop numbering.
+    assert!(
+        stdout.contains("+ 1*i3 + 103*i0]"),
+        "model output lost the Fig. 4 affine function:\n{stdout}"
+    );
+    assert!(stdout.contains("// wr x6"), "expected 6 writes:\n{stdout}");
+}
+
+#[test]
+fn executable_model_reprofiles_to_the_same_coefficients() {
+    // --executable emits the model as a runnable mini-C program; piping it
+    // back through `model` must be a fixpoint on the affine function.
+    let path = write_fixture("exec");
+    let first = foray_gen(&[
+        "model",
+        path.to_str().unwrap(),
+        "--nexec",
+        "6",
+        "--nloc",
+        "6",
+        "--executable",
+    ]);
+    assert!(first.status.success());
+    let emitted = std::env::temp_dir().join("foray_cli_smoke_emitted.mc");
+    std::fs::write(&emitted, &first.stdout).unwrap();
+    let second = foray_gen(&["model", emitted.to_str().unwrap(), "--nexec", "6", "--nloc", "6"]);
+    assert!(second.status.success(), "stderr: {}", String::from_utf8_lossy(&second.stderr));
+    let stdout = String::from_utf8(second.stdout).unwrap();
+    assert!(
+        stdout.contains("1*") && stdout.contains("103*"),
+        "re-profiled model lost the coefficients:\n{stdout}"
+    );
+}
+
+#[test]
+fn usage_and_compile_errors_map_to_distinct_exit_codes() {
+    let usage = foray_gen(&["model"]);
+    assert_eq!(usage.status.code(), Some(1), "missing file is a usage error");
+
+    let broken = std::env::temp_dir().join("foray_cli_smoke_broken.mc");
+    std::fs::write(&broken, "void main() {").unwrap();
+    let compile = foray_gen(&["model", broken.to_str().unwrap()]);
+    assert_eq!(compile.status.code(), Some(2), "parse failure is a compile error");
+}

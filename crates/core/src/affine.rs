@@ -249,9 +249,7 @@ impl AffineState {
     /// one iterator with a known non-zero coefficient — Step 4 of
     /// Algorithm 1's "includes at least one iterator" condition.
     pub fn has_iterator(&self) -> bool {
-        self.coeffs[..self.m as usize]
-            .iter()
-            .any(|c| matches!(c, Some(v) if *v != 0))
+        self.coeffs[..self.m as usize].iter().any(|c| matches!(c, Some(v) if *v != 0))
     }
 
     /// Evaluates the fitted expression at an iterator vector (unknown
@@ -285,14 +283,17 @@ mod tests {
         // The paper's worked example: addresses 0x7fff5934..36 in entry one
         // of the inner loop, 0x7fff599b..9d in entry two. Expected model:
         // A[2147440948 + 1*i_inner + 103*i_outer].
-        let st = drive(2, &[
-            (&[0, 0], 0x7fff5934),
-            (&[1, 0], 0x7fff5935),
-            (&[2, 0], 0x7fff5936),
-            (&[0, 1], 0x7fff599b),
-            (&[1, 1], 0x7fff599c),
-            (&[2, 1], 0x7fff599d),
-        ]);
+        let st = drive(
+            2,
+            &[
+                (&[0, 0], 0x7fff5934),
+                (&[1, 0], 0x7fff5935),
+                (&[2, 0], 0x7fff5936),
+                (&[0, 1], 0x7fff599b),
+                (&[1, 1], 0x7fff599c),
+                (&[2, 1], 0x7fff599d),
+            ],
+        );
         assert!(!st.is_non_analyzable());
         assert_eq!(st.constant(), 2147440948);
         assert_eq!(st.coefficients(), &[Some(1), Some(103)]);
@@ -306,8 +307,7 @@ mod tests {
 
     #[test]
     fn single_loop_unit_stride() {
-        let obs: Vec<(Vec<i64>, u32)> =
-            (0..10).map(|i| (vec![i], 0x1000 + 4 * i as u32)).collect();
+        let obs: Vec<(Vec<i64>, u32)> = (0..10).map(|i| (vec![i], 0x1000 + 4 * i as u32)).collect();
         let refs: Vec<(&[i64], u32)> = obs.iter().map(|(v, a)| (v.as_slice(), *a)).collect();
         let st = drive(1, &refs);
         assert_eq!(st.constant(), 0x1000);
@@ -385,8 +385,7 @@ mod tests {
 
     #[test]
     fn negative_stride() {
-        let obs: Vec<(Vec<i64>, u32)> =
-            (0..8).map(|i| (vec![i], 0x2000 - 8 * i as u32)).collect();
+        let obs: Vec<(Vec<i64>, u32)> = (0..8).map(|i| (vec![i], 0x2000 - 8 * i as u32)).collect();
         let refs: Vec<(&[i64], u32)> = obs.iter().map(|(v, a)| (v.as_slice(), *a)).collect();
         let st = drive(1, &refs);
         assert_eq!(st.coefficients(), &[Some(-8)]);
@@ -425,14 +424,17 @@ mod tests {
         // Inner loop re-entered: iterator drops 2 → 0 while the outer
         // iterator advances; the outer coefficient absorbs the jump
         // (exactly Fig 4's C2 = 103 situation, smaller numbers).
-        let st = drive(2, &[
-            (&[0, 0], 100),
-            (&[1, 0], 101),
-            (&[2, 0], 102),
-            (&[0, 1], 110), // delta = +8 while inner fell by 2: C2 = 10
-            (&[1, 1], 111),
-            (&[2, 1], 112),
-        ]);
+        let st = drive(
+            2,
+            &[
+                (&[0, 0], 100),
+                (&[1, 0], 101),
+                (&[2, 0], 102),
+                (&[0, 1], 110), // delta = +8 while inner fell by 2: C2 = 10
+                (&[1, 1], 111),
+                (&[2, 1], 112),
+            ],
+        );
         assert_eq!(st.coefficients(), &[Some(1), Some(10)]);
         assert_eq!(st.constant(), 100);
         assert!(st.is_full());

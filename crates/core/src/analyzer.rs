@@ -274,9 +274,10 @@ mod tests {
         let mut t = Vec::new();
         let acc = |addr: u32| Record::access(0x4002a0, addr, AccessKind::Write);
         t.push(Record::checkpoint(4, LB)); // Checkpoint: 12
-        for (body, addrs) in
-            [(0, [0x7fff5934u32, 0x7fff5935, 0x7fff5936]), (1, [0x7fff599b, 0x7fff599c, 0x7fff599d])]
-        {
+        for (body, addrs) in [
+            (0, [0x7fff5934u32, 0x7fff5935, 0x7fff5936]),
+            (1, [0x7fff599b, 0x7fff599c, 0x7fff599d]),
+        ] {
             let _ = body;
             t.push(Record::checkpoint(4, BB)); // 13
             t.push(Record::checkpoint(5, LB)); // 15

@@ -11,8 +11,8 @@
 //! number* (`3 * loop_id`), matching how the paper derives `i12`/`i15` from
 //! its checkpoint ids.
 
-use crate::model::{ForayModel, ModelRef};
 use crate::looptree::NodeId;
+use crate::model::{ForayModel, ModelRef};
 use minic::{checkpoint_number, CheckpointKind, LoopId};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
@@ -123,15 +123,8 @@ fn emit_ref(out: &mut String, indent: usize, r: &ModelRef) {
     } else {
         String::new()
     };
-    let _ = writeln!(
-        out,
-        "{}[{}]; // {} x{}{}",
-        r.array_name(),
-        index_expr(r),
-        rw,
-        r.execs,
-        partial
-    );
+    let _ =
+        writeln!(out, "{}[{}]; // {} x{}{}", r.array_name(), index_expr(r), rw, r.execs, partial);
 }
 
 fn indent_to(out: &mut String, n: usize) {
@@ -316,10 +309,7 @@ mod tests {
             }
             t.push(Record::checkpoint(4, BE));
         }
-        let model = ForayModel::extract(
-            &analyze(&t),
-            &FilterConfig { n_exec: 6, n_loc: 6 },
-        );
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig { n_exec: 6, n_loc: 6 });
         let code = emit(&model);
         assert!(code.contains("for (int i12=0; i12<2; i12++)"), "{code}");
         assert!(code.contains("for (int i15=0; i15<3; i15++)"), "{code}");

@@ -189,10 +189,7 @@ mod tests {
 
     #[test]
     fn main_loops_never_hint() {
-        let mut prog = minic::parse(
-            "void main() { int i; for (i = 0; i < 3; i++) { } }",
-        )
-        .unwrap();
+        let mut prog = minic::parse("void main() { int i; for (i = 0; i < 3; i++) { } }").unwrap();
         minic::check(&mut prog).unwrap();
         let mut tree = LoopTree::new();
         // Artificially duplicate main's loop in two contexts.

@@ -65,8 +65,7 @@ pub mod srcmap;
 
 pub use affine::AffineState;
 pub use analyzer::{
-    analyze, analyze_with, Analysis, Analyzer, AnalyzerConfig, LookupStrategy, RefClass,
-    RefRecord,
+    analyze, analyze_with, Analysis, Analyzer, AnalyzerConfig, LookupStrategy, RefClass, RefRecord,
 };
 pub use hints::InlineHint;
 pub use looptree::{LoopTree, NodeId, ROOT};

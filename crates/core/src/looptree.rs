@@ -261,8 +261,7 @@ impl LoopTree {
 
     /// Distinct static loop ids instantiated anywhere in the tree.
     pub fn distinct_loop_ids(&self) -> Vec<LoopId> {
-        let mut ids: Vec<LoopId> =
-            self.nodes.iter().filter_map(|n| n.loop_id).collect();
+        let mut ids: Vec<LoopId> = self.nodes.iter().filter_map(|n| n.loop_id).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -316,8 +315,7 @@ impl LoopTree {
                 *counts.entry(l).or_default() += 1;
             }
         }
-        let mut out: Vec<(LoopId, usize)> =
-            counts.into_iter().filter(|(_, c)| *c > 1).collect();
+        let mut out: Vec<(LoopId, usize)> = counts.into_iter().filter(|(_, c)| *c > 1).collect();
         out.sort_unstable();
         out
     }
@@ -384,10 +382,23 @@ mod tests {
     fn same_loop_in_two_contexts_gets_two_nodes() {
         // foo's loop (id 2) runs under loop 0 and loop 1 — two subtrees.
         let mut tree = LoopTree::new();
-        feed(&mut tree, &[
-            (0, LB), (0, BB), (2, LB), (2, BB), (2, BE), (0, BE),
-            (1, LB), (1, BB), (2, LB), (2, BB), (2, BE), (1, BE),
-        ]);
+        feed(
+            &mut tree,
+            &[
+                (0, LB),
+                (0, BB),
+                (2, LB),
+                (2, BB),
+                (2, BE),
+                (0, BE),
+                (1, LB),
+                (1, BB),
+                (2, LB),
+                (2, BB),
+                (2, BE),
+                (1, BE),
+            ],
+        );
         assert_eq!(tree.len(), 5); // root, 0, 1, and two instances of 2
         assert_eq!(tree.multi_context_loops(), vec![(LoopId(2), 2)]);
         assert_eq!(tree.distinct_loop_ids(), vec![LoopId(0), LoopId(1), LoopId(2)]);

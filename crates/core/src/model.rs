@@ -162,11 +162,9 @@ impl ForayModel {
                 .take(r.state.window() as usize)
                 .enumerate()
                 .filter_map(|(i, c)| match c {
-                    Some(c) if *c != 0 => Some(AffineTerm {
-                        level: i as u32 + 1,
-                        loop_id: loop_path[i],
-                        coeff: *c,
-                    }),
+                    Some(c) if *c != 0 => {
+                        Some(AffineTerm { level: i as u32 + 1, loop_id: loop_path[i], coeff: *c })
+                    }
                     _ => None,
                 })
                 .collect();
@@ -359,8 +357,7 @@ mod tests {
     #[test]
     fn custom_thresholds() {
         let analysis = analyze(&strided_loop_trace(0x400000, 0x1000_0000, 4, 8));
-        let model =
-            ForayModel::extract(&analysis, &FilterConfig { n_exec: 4, n_loc: 4 });
+        let model = ForayModel::extract(&analysis, &FilterConfig { n_exec: 4, n_loc: 4 });
         assert_eq!(model.ref_count(), 1);
     }
 
@@ -377,8 +374,7 @@ mod tests {
             }
             t.push(Record::checkpoint(0, BE));
         }
-        let model =
-            ForayModel::extract(&analyze(&t), &FilterConfig { n_exec: 16, n_loc: 10 });
+        let model = ForayModel::extract(&analyze(&t), &FilterConfig { n_exec: 16, n_loc: 10 });
         assert_eq!(model.ref_count(), 1);
         assert_eq!(model.loop_count(), 2);
         let r = &model.refs[0];

@@ -5,7 +5,7 @@
 //! (the paper's constant-space mode — no trace is materialized unless asked
 //! for).
 
-use crate::analyzer::{Analyzer, AnalyzerConfig, Analysis};
+use crate::analyzer::{Analysis, Analyzer, AnalyzerConfig};
 use crate::codegen;
 use crate::hints::{inline_hints, InlineHint};
 use crate::model::{FilterConfig, ForayModel};
@@ -178,10 +178,8 @@ impl ForayGen {
 
     fn run_instrumented(&self, prog: Program) -> Result<ForayGenOutput, PipelineError> {
         // Online mode: analyzer and trace statistics ride the simulation.
-        let mut sink = TeeSink::new(
-            Analyzer::with_config(self.analyzer.clone()),
-            TraceStats::new(),
-        );
+        let mut sink =
+            TeeSink::new(Analyzer::with_config(self.analyzer.clone()), TraceStats::new());
         let sim = minic_sim::run_with_sink(&prog, &self.sim, &self.inputs, &mut sink)?;
         let (analyzer, trace_stats) = sink.into_inner();
         let analysis = analyzer.into_analysis();
@@ -209,10 +207,8 @@ mod tests {
 
     #[test]
     fn figure4_full_pipeline() {
-        let out = ForayGen::new()
-            .filter(FilterConfig { n_exec: 6, n_loc: 6 })
-            .run_source(FIG4)
-            .unwrap();
+        let out =
+            ForayGen::new().filter(FilterConfig { n_exec: 6, n_loc: 6 }).run_source(FIG4).unwrap();
         assert_eq!(out.model.ref_count(), 1);
         let r = &out.model.refs[0];
         // Byte-strided inner loop, 103-byte outer stride: exactly the
@@ -222,8 +218,7 @@ mod tests {
         assert_eq!(r.terms[1].coeff, 103);
         assert!(!r.is_partial());
         // Trip counts 3 (inner) and 2 (outer), as in Fig 4(d).
-        let loops: Vec<u64> =
-            r.node_path.iter().map(|n| out.model.loops[n].trip).collect();
+        let loops: Vec<u64> = r.node_path.iter().map(|n| out.model.loops[n].trip).collect();
         assert_eq!(loops, vec![3, 2]);
         // Code shape (loop ids 0/1 → iterator names i0/i3).
         assert!(out.code.contains("for (int i0=0; i0<2; i0++)"), "{}", out.code);

@@ -260,11 +260,8 @@ mod tests {
         let mut prog = minic::parse(src).unwrap();
         minic::check(&mut prog).unwrap();
         // Executed trace touches only the for loop (id 1).
-        let t = vec![
-            Record::checkpoint(1, LB),
-            Record::checkpoint(1, BB),
-            Record::checkpoint(1, BE),
-        ];
+        let t =
+            vec![Record::checkpoint(1, LB), Record::checkpoint(1, BB), Record::checkpoint(1, BE)];
         let analysis = analyze(&t);
         let row = LoopBreakdown::compute(src, &prog, &analysis);
         assert_eq!(row.total_loops, 1);

@@ -187,10 +187,8 @@ void main() {
         for (i = 40; i > 37; i--) { *ptr++ = i * i % 256; }
     }
 }";
-        let out = ForayGen::new()
-            .filter(FilterConfig { n_exec: 6, n_loc: 6 })
-            .run_source(src)
-            .unwrap();
+        let out =
+            ForayGen::new().filter(FilterConfig { n_exec: 6, n_loc: 6 }).run_source(src).unwrap();
         let notes = annotate(&out.model, &out.program);
         assert_eq!(notes.len(), 1);
         let site = notes[0].site.as_ref().expect("site resolves");
@@ -220,9 +218,7 @@ void main() {
     fn synthetic_traffic_has_no_source_site() {
         // Library references carry library instruction addresses that map
         // to no source site.
-        let map_input = site_map(
-            &minic::frontend("void main() { print_int(input(0)); }").unwrap(),
-        );
+        let map_input = site_map(&minic::frontend("void main() { print_int(input(0)); }").unwrap());
         assert!(!map_input.contains_key(&layout::library_instr(0, 0)));
     }
 

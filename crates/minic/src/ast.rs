@@ -144,10 +144,7 @@ impl BinOp {
 
     /// Whether the operator produces a boolean (0/1) result.
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
-        )
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
     }
 }
 
@@ -622,9 +619,7 @@ mod tests {
         let var = Expr::Var { name: "x".into(), site: SiteId(0), loc };
         assert!(var.is_lvalue());
         assert!(!Expr::IntLit(1).is_lvalue());
-        assert!(
-            Expr::Deref { ptr: Box::new(Expr::IntLit(0)), site: SiteId(1), loc }.is_lvalue()
-        );
+        assert!(Expr::Deref { ptr: Box::new(Expr::IntLit(0)), site: SiteId(1), loc }.is_lvalue());
     }
 
     #[test]

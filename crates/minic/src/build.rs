@@ -98,10 +98,7 @@ impl ProgramBuilder {
     ) -> Self {
         self.prog.functions.push(Function {
             name: name.into(),
-            params: params
-                .into_iter()
-                .map(|(n, ty)| Param { name: n.into(), ty })
-                .collect(),
+            params: params.into_iter().map(|(n, ty)| Param { name: n.into(), ty }).collect(),
             ret,
             body: body.into_iter().collect(),
             loc: Loc::default(),
@@ -187,7 +184,13 @@ pub fn call(name: &str, args: impl IntoIterator<Item = Expr>) -> Expr {
 
 /// Scalar local declaration with initializer.
 pub fn decl(name: &str, ty: Type, init: Expr) -> Stmt {
-    Stmt::LocalDecl { name: name.into(), ty, array_len: None, init: Some(init), loc: Loc::default() }
+    Stmt::LocalDecl {
+        name: name.into(),
+        ty,
+        array_len: None,
+        init: Some(init),
+        loc: Loc::default(),
+    }
 }
 
 /// Scalar local declaration without initializer.
@@ -288,9 +291,12 @@ mod tests {
     fn builds_checkable_program() {
         let mut prog = program()
             .global_array("a", Type::Int, 8)
-            .function("main", [], None, [for_loop("i", 0, 8, [
-                assign(idx(var("a"), var("i")), mul(var("i"), int(2))),
-            ])])
+            .function(
+                "main",
+                [],
+                None,
+                [for_loop("i", 0, 8, [assign(idx(var("a"), var("i")), mul(var("i"), int(2)))])],
+            )
             .build();
         let info = check(&mut prog).unwrap();
         assert_eq!(info.loops, 1);
@@ -300,13 +306,18 @@ mod tests {
     fn built_program_pretty_parses() {
         let prog = program()
             .global("g", Type::Int)
-            .function("main", [], None, [
-                decl("x", Type::Int, int(0)),
-                while_loop(lt(var("x"), int(4)), [
-                    assign_op(var("x"), AssignOp::Add, int(1)),
-                    assign(var("g"), var("x")),
-                ]),
-            ])
+            .function(
+                "main",
+                [],
+                None,
+                [
+                    decl("x", Type::Int, int(0)),
+                    while_loop(
+                        lt(var("x"), int(4)),
+                        [assign_op(var("x"), AssignOp::Add, int(1)), assign(var("g"), var("x"))],
+                    ),
+                ],
+            )
             .build();
         let text = crate::pretty(&prog);
         let mut reparsed = crate::parse(&text).unwrap();
@@ -317,16 +328,26 @@ mod tests {
     fn builder_functions_with_params() {
         let mut prog = program()
             .global_array("a", Type::Int, 100)
-            .function("foo", [("offset", Type::Int)], Some(Type::Int), [
-                decl("s", Type::Int, int(0)),
-                for_loop("i", 0, 10, [
-                    assign_op(var("s"), AssignOp::Add, idx(var("a"), add(var("i"), var("offset")))),
-                ]),
-                ret(var("s")),
-            ])
-            .function("main", [], None, [
-                expr_stmt(call("foo", [int(10)])),
-            ])
+            .function(
+                "foo",
+                [("offset", Type::Int)],
+                Some(Type::Int),
+                [
+                    decl("s", Type::Int, int(0)),
+                    for_loop(
+                        "i",
+                        0,
+                        10,
+                        [assign_op(
+                            var("s"),
+                            AssignOp::Add,
+                            idx(var("a"), add(var("i"), var("offset"))),
+                        )],
+                    ),
+                    ret(var("s")),
+                ],
+            )
+            .function("main", [], None, [expr_stmt(call("foo", [int(10)]))])
             .build();
         assert!(check(&mut prog).is_ok());
     }

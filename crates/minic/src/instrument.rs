@@ -155,8 +155,9 @@ mod tests {
 
     #[test]
     fn return_closes_all_enclosing_loops() {
-        let cps =
-            checkpoints_of("int f() { while (0) { for (;;) { return 1; } } return 0; } void main() { f(); }");
+        let cps = checkpoints_of(
+            "int f() { while (0) { for (;;) { return 1; } } return 0; } void main() { f(); }",
+        );
         // Inside the for body: return is preceded by BE(for)=loop1, BE(while)=loop0.
         let idx = cps.iter().position(|&(id, k)| id == 1 && k == BB).unwrap();
         assert_eq!(&cps[idx + 1..idx + 3], &[(1, BE), (0, BE)]);
@@ -178,9 +179,8 @@ mod tests {
 
     #[test]
     fn loops_in_if_branches() {
-        let cps = checkpoints_of(
-            "void main() { int c; if (c) { while (0) { } } else { for (;;) { } } }",
-        );
+        let cps =
+            checkpoints_of("void main() { int c; if (c) { while (0) { } } else { for (;;) { } } }");
         assert_eq!(cps, vec![(0, LB), (0, BB), (0, BE), (1, LB), (1, BB), (1, BE)]);
     }
 }

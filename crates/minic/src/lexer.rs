@@ -318,32 +318,37 @@ mod tests {
 
     #[test]
     fn hex_and_decimal() {
-        assert_eq!(kinds("0x10 0XfF 42"), vec![
-            TokenKind::IntLit(16),
-            TokenKind::IntLit(255),
-            TokenKind::IntLit(42),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("0x10 0XfF 42"),
+            vec![
+                TokenKind::IntLit(16),
+                TokenKind::IntLit(255),
+                TokenKind::IntLit(42),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
     fn comments_are_skipped() {
         let k = kinds("a // line\n /* block\n over lines */ b");
-        assert_eq!(k, vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Ident("b".into()),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            k,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
     }
 
     #[test]
     fn char_literals() {
-        assert_eq!(kinds(r"'a' '\n' '\0'"), vec![
-            TokenKind::CharLit(b'a'),
-            TokenKind::CharLit(b'\n'),
-            TokenKind::CharLit(0),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds(r"'a' '\n' '\0'"),
+            vec![
+                TokenKind::CharLit(b'a'),
+                TokenKind::CharLit(b'\n'),
+                TokenKind::CharLit(0),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
@@ -372,10 +377,9 @@ mod tests {
 
     #[test]
     fn keywords_vs_identifiers() {
-        assert_eq!(kinds("for forever"), vec![
-            TokenKind::Kw(Keyword::For),
-            TokenKind::Ident("forever".into()),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("for forever"),
+            vec![TokenKind::Kw(Keyword::For), TokenKind::Ident("forever".into()), TokenKind::Eof]
+        );
     }
 }

@@ -149,10 +149,9 @@ impl Parser {
                 continue;
             }
             if !self.peek_is_type() {
-                return Err(self.err(format!(
-                    "expected declaration or function, found `{}`",
-                    self.peek()
-                )));
+                return Err(
+                    self.err(format!("expected declaration or function, found `{}`", self.peek()))
+                );
             }
             let ty = self.ty()?;
             let name = self.ident()?;
@@ -502,12 +501,7 @@ impl Parser {
                     let site = self.fresh_site();
                     let index = self.expr()?;
                     self.expect(&TokenKind::RBracket)?;
-                    expr = Expr::Index {
-                        base: Box::new(expr),
-                        index: Box::new(index),
-                        site,
-                        loc,
-                    };
+                    expr = Expr::Index { base: Box::new(expr), index: Box::new(index), site, loc };
                 }
                 TokenKind::PlusPlus => {
                     self.bump();
@@ -557,10 +551,9 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 Ok(inner)
             }
-            other => Err(Error::Parse {
-                loc,
-                msg: format!("expected expression, found `{other}`"),
-            }),
+            other => {
+                Err(Error::Parse { loc, msg: format!("expected expression, found `{other}`") })
+            }
         }
     }
 }

@@ -97,8 +97,7 @@ impl Printer {
 
     fn function(&mut self, f: &Function) {
         let ret = f.ret.as_ref().map_or("void".to_owned(), |t| t.to_string());
-        let params: Vec<String> =
-            f.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+        let params: Vec<String> = f.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
         self.line(&format!("{ret} {}({}) {{", f.name, params.join(", ")));
         self.indent += 1;
         for s in &f.body.stmts {
@@ -147,7 +146,8 @@ impl Printer {
             Stmt::For { init, cond, step, body, .. } => {
                 let i = init.as_deref().map_or(String::new(), |s| self.simple_stmt(s));
                 let c = cond.as_ref().map_or(String::new(), |c| format!(" {}", expr(c)));
-                let st = step.as_deref().map_or(String::new(), |s| format!(" {}", self.simple_stmt(s)));
+                let st =
+                    step.as_deref().map_or(String::new(), |s| format!(" {}", self.simple_stmt(s)));
                 self.line(&format!("for ({i};{c};{st}) {{"));
                 self.block_body(body);
                 self.line("}");
@@ -219,23 +219,13 @@ fn expr_prec(e: &Expr, min: u8) -> String {
             (format!("{}[{}]", expr_prec(base, PREC_POSTFIX), expr(index)), PREC_POSTFIX)
         }
         Expr::Deref { ptr, .. } => (format!("*{}", expr_prec(ptr, PREC_UNARY)), PREC_UNARY),
-        Expr::AddrOf { lvalue, .. } => {
-            (format!("&{}", expr_prec(lvalue, PREC_UNARY)), PREC_UNARY)
-        }
+        Expr::AddrOf { lvalue, .. } => (format!("&{}", expr_prec(lvalue, PREC_UNARY)), PREC_UNARY),
         Expr::Unary { op, expr: inner } => {
             (format!("{}{}", op.as_str(), expr_prec(inner, PREC_UNARY)), PREC_UNARY)
         }
         Expr::Binary { op, lhs, rhs } => {
             let p = prec_of(*op);
-            (
-                format!(
-                    "{} {} {}",
-                    expr_prec(lhs, p),
-                    op.as_str(),
-                    expr_prec(rhs, p + 1)
-                ),
-                p,
-            )
+            (format!("{} {} {}", expr_prec(lhs, p), op.as_str(), expr_prec(rhs, p + 1)), p)
         }
         Expr::IncDec { op, target } => {
             let t = expr_prec(target, PREC_POSTFIX);
@@ -247,10 +237,9 @@ fn expr_prec(e: &Expr, min: u8) -> String {
             };
             (s, if op.is_post() { PREC_POSTFIX } else { PREC_UNARY })
         }
-        Expr::Cond { cond, then, els } => (
-            format!("{} ? {} : {}", expr_prec(cond, 1), expr(then), expr(els)),
-            0,
-        ),
+        Expr::Cond { cond, then, els } => {
+            (format!("{} ? {} : {}", expr_prec(cond, 1), expr(then), expr(els)), 0)
+        }
         Expr::Call { name, args, .. } => {
             let a: Vec<String> = args.iter().map(expr).collect();
             (format!("{name}({})", a.join(", ")), PREC_POSTFIX)

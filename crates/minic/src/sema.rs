@@ -362,10 +362,7 @@ impl Checker {
             }
             Stmt::Break | Stmt::Continue => {
                 if self.loop_depth == 0 {
-                    self.diag(
-                        Loc::default(),
-                        "`break`/`continue` outside of a loop",
-                    );
+                    self.diag(Loc::default(), "`break`/`continue` outside of a loop");
                 }
             }
             Stmt::Block(b) => self.check_block(b),
@@ -527,8 +524,7 @@ mod tests {
 
     #[test]
     fn for_init_scopes_over_body() {
-        assert!(check_src("void main() { for (int i = 0; i < 3; i++) { int y; y = i; } }")
-            .is_ok());
+        assert!(check_src("void main() { for (int i = 0; i < 3; i++) { int y; y = i; } }").is_ok());
         let errs = errors("void main() { for (int i = 0; i < 3; i++) {} i = 1; }");
         assert!(errs.iter().any(|e| e.contains("undeclared variable `i`")));
     }

@@ -199,19 +199,13 @@ impl<'p, S: TraceSink> Interp<'p, S> {
                     for (i, v) in g.init.iter().enumerate() {
                         write_typed(&mut mem, addr + i as u32 * g.ty.size(), &g.ty, *v);
                     }
-                    globals.insert(
-                        g.name.clone(),
-                        GlobalSlot::Array { elem: g.ty.clone(), addr },
-                    );
+                    globals.insert(g.name.clone(), GlobalSlot::Array { elem: g.ty.clone(), addr });
                 }
                 None => {
                     if let Some(v) = g.init.first() {
                         write_typed(&mut mem, addr, &g.ty, *v);
                     }
-                    globals.insert(
-                        g.name.clone(),
-                        GlobalSlot::Scalar { ty: g.ty.clone(), addr },
-                    );
+                    globals.insert(g.name.clone(), GlobalSlot::Scalar { ty: g.ty.clone(), addr });
                 }
             }
         }
@@ -242,8 +236,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
     ///
     /// Any [`RuntimeError`] raised during execution.
     pub fn run(mut self) -> RunResult<(SimOutcome, S)> {
-        let main_idx =
-            *self.func_idx.get("main").ok_or(RuntimeError::MissingMain)?;
+        let main_idx = *self.func_idx.get("main").ok_or(RuntimeError::MissingMain)?;
         self.call_user(main_idx, Vec::new())?;
         self.sink.finish();
         Ok((self.outcome, self.sink))
@@ -392,9 +385,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
                         let (ty, addr) = (ty.clone(), *addr);
                         Ok(self.load_mem(addr, &ty, *site))
                     }
-                    Some(GlobalSlot::Array { elem, addr }) => {
-                        Ok(Value::ptr(*addr, elem.clone()))
-                    }
+                    Some(GlobalSlot::Array { elem, addr }) => Ok(Value::ptr(*addr, elem.clone())),
                     None => Err(RuntimeError::UnknownVariable { name: name.clone() }),
                 }
             }
@@ -487,11 +478,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
             (BinOp::Add, Value::Ptr { .. }, Value::Int(n)) => return Ok(offset_value(&l, *n)),
             (BinOp::Add, Value::Int(n), Value::Ptr { .. }) => return Ok(offset_value(&r, *n)),
             (BinOp::Sub, Value::Ptr { .. }, Value::Int(n)) => return Ok(offset_value(&l, -*n)),
-            (
-                BinOp::Sub,
-                Value::Ptr { addr: a, pointee },
-                Value::Ptr { addr: b, .. },
-            ) => {
+            (BinOp::Sub, Value::Ptr { addr: a, pointee }, Value::Ptr { addr: b, .. }) => {
                 let diff = (*a as i64 - *b as i64) / pointee.size() as i64;
                 return Ok(Value::Int(diff));
             }
@@ -762,8 +749,10 @@ impl<'p, S: TraceSink> Interp<'p, S> {
         match name {
             "malloc" => {
                 let size = arg(0);
-                let size = u32::try_from(size)
-                    .map_err(|_| RuntimeError::BadBuiltinArgument { builtin: "malloc", value: size })?;
+                let size = u32::try_from(size).map_err(|_| RuntimeError::BadBuiltinArgument {
+                    builtin: "malloc",
+                    value: size,
+                })?;
                 let block = self.heap.alloc(size).ok_or(RuntimeError::HeapExhausted)?;
                 self.outcome.heap_allocations += 1;
                 // Allocator writes its size header.
@@ -835,8 +824,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
                     self.inputs[i]
                 };
                 self.input_cursor = self.input_cursor.wrapping_add(1);
-                let addr =
-                    layout::LIB_DATA_BASE + 0x100 + ((idx.rem_euclid(1024)) as u32) * 4;
+                let addr = layout::LIB_DATA_BASE + 0x100 + ((idx.rem_euclid(1024)) as u32) * 4;
                 self.lib_access(bi, 0, addr, AccessKind::Read);
                 Ok(Value::Int(value))
             }

@@ -54,10 +54,9 @@ impl Value {
     /// and integers assigned to scalar slots stay integers.
     pub fn coerce_to(self, ty: &Type) -> Value {
         match ty {
-            Type::Ptr(pointee) => Value::Ptr {
-                addr: self.as_int() as u32,
-                pointee: (**pointee).clone(),
-            },
+            Type::Ptr(pointee) => {
+                Value::Ptr { addr: self.as_int() as u32, pointee: (**pointee).clone() }
+            }
             Type::Int => Value::Int(self.as_int() as i32 as i64),
             Type::Char => Value::Int(self.as_int() as u8 as i64),
         }
@@ -114,10 +113,7 @@ mod tests {
 
     #[test]
     fn coercion_wraps_int32() {
-        assert_eq!(
-            Value::Int(0x1_0000_0001).coerce_to(&Type::Int),
-            Value::Int(1)
-        );
+        assert_eq!(Value::Int(0x1_0000_0001).coerce_to(&Type::Int), Value::Int(1));
     }
 
     #[test]

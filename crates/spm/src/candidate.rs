@@ -55,9 +55,7 @@ impl BufferCandidate {
         let spm = energy.spm_access_nj(self.size_bytes);
         let without = energy.main_nj(self.spm_accesses);
         let moved = self.fill_elems + self.writeback_elems;
-        let with = self.spm_accesses as f64 * spm
-            + energy.main_nj(moved)
-            + moved as f64 * spm;
+        let with = self.spm_accesses as f64 * spm + energy.main_nj(moved) + moved as f64 * spm;
         without - with
     }
 }
@@ -96,8 +94,7 @@ pub fn candidates_for(ref_idx: usize, r: &ModelRef, model: &ForayModel) -> Vec<B
     let elem = elem_bytes(r);
     let mut out = Vec::new();
     // Trip counts innermost-first along the reference's nest.
-    let trips: Vec<u64> =
-        r.node_path.iter().map(|n| model.loops[n].trip.max(1)).collect();
+    let trips: Vec<u64> = r.node_path.iter().map(|n| model.loops[n].trip.max(1)).collect();
     let total_execs = r.execs;
     for level in 1..=r.window.min(r.nest) {
         // Affine span of iterators 1..=level.
@@ -137,9 +134,7 @@ pub fn candidates_for(ref_idx: usize, r: &ModelRef, model: &ForayModel) -> Vec<B
 pub fn enumerate(model: &ForayModel) -> Vec<BufferCandidate> {
     let mut out = Vec::new();
     for (i, r) in model.refs.iter().enumerate() {
-        out.extend(
-            candidates_for(i, r, model).into_iter().filter(|c| c.reuse_factor() > 1.0),
-        );
+        out.extend(candidates_for(i, r, model).into_iter().filter(|c| c.reuse_factor() > 1.0));
     }
     out
 }

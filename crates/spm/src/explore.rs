@@ -90,9 +90,8 @@ pub fn select_greedy(
     energy: &EnergyModel,
     capacity: u32,
 ) -> Selection {
-    let mut order: Vec<usize> = (0..candidates.len())
-        .filter(|&i| candidates[i].savings_nj(energy) > 0.0)
-        .collect();
+    let mut order: Vec<usize> =
+        (0..candidates.len()).filter(|&i| candidates[i].savings_nj(energy) > 0.0).collect();
     order.sort_by(|&a, &b| {
         let da = candidates[a].savings_nj(energy) / candidates[a].size_bytes.max(1) as f64;
         let db = candidates[b].savings_nj(energy) / candidates[b].size_bytes.max(1) as f64;
@@ -131,7 +130,13 @@ pub fn sweep(
 mod tests {
     use super::*;
 
-    fn candidate(ref_idx: usize, level: u32, size: u32, accesses: u64, fills: u64) -> BufferCandidate {
+    fn candidate(
+        ref_idx: usize,
+        level: u32,
+        size: u32,
+        accesses: u64,
+        fills: u64,
+    ) -> BufferCandidate {
         BufferCandidate {
             ref_idx,
             array: format!("A{ref_idx}"),

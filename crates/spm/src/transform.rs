@@ -45,9 +45,8 @@ pub fn emit_buffered(
         emit_buffered_nest(&mut out, model, r, c, bi);
         out.push('\n');
     }
-    let untouched: Vec<usize> = (0..model.refs.len())
-        .filter(|i| !selected.iter().any(|c| c.ref_idx == *i))
-        .collect();
+    let untouched: Vec<usize> =
+        (0..model.refs.len()).filter(|i| !selected.iter().any(|c| c.ref_idx == *i)).collect();
     if !untouched.is_empty() {
         let _ = writeln!(out, "// references left in main memory:");
         let mut rest = ForayModel::default();

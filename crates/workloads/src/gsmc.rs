@@ -20,9 +20,7 @@ use crate::{Params, Workload};
 pub fn workload(params: Params) -> Workload {
     let frames = 24usize * params.scale as usize;
     let ns = frames * 160;
-    let source = TEMPLATE
-        .replace("@NS@", &ns.to_string())
-        .replace("@FRAMES@", &frames.to_string());
+    let source = TEMPLATE.replace("@NS@", &ns.to_string()).replace("@FRAMES@", &frames.to_string());
     Workload {
         name: "gsmc",
         description: "GSM-style LPC encoder: autocorrelation, Schur recursion, LTP search",

@@ -61,7 +61,11 @@ pub fn audio(seed: u64, n: usize) -> Vec<i64> {
         .map(|i| {
             let tri = {
                 let p = (i % 64) as i64;
-                if p < 32 { p * 64 } else { (64 - p) * 64 }
+                if p < 32 {
+                    p * 64
+                } else {
+                    (64 - p) * 64
+                }
             };
             let square = if (i / 96) % 2 == 0 { 512 } else { -512 };
             let noise = rng.below(256) as i64 - 128;

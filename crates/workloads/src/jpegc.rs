@@ -186,11 +186,8 @@ mod tests {
         assert!(out.model.ref_count() >= 8, "model: {}", out.code);
         // The pointer-based block load p[W*v+u] must be recovered as a
         // full affine reference spanning the while/do block loops.
-        let has_deep_full = out
-            .model
-            .refs
-            .iter()
-            .any(|r| !r.is_partial() && r.nest >= 4 && r.terms.len() >= 3);
+        let has_deep_full =
+            out.model.refs.iter().any(|r| !r.is_partial() && r.nest >= 4 && r.terms.len() >= 3);
         assert!(has_deep_full, "expected a deep full-affine pointer reference\n{}", out.code);
     }
 

@@ -43,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Steps 3-4 + emission. Fig 4 shows the unfiltered view, so relax the
     // thresholds below the example's 6 executions / 6 locations.
-    let out = ForayGen::new()
-        .filter(FilterConfig { n_exec: 6, n_loc: 6 })
-        .run_source(FIGURE_4A)?;
+    let out = ForayGen::new().filter(FilterConfig { n_exec: 6, n_loc: 6 }).run_source(FIGURE_4A)?;
     println!("== Fig 4(d): FORAY model ==\n{}", out.code);
 
     let r = &out.model.refs[0];

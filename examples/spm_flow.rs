@@ -40,11 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pick the knee (first capacity achieving ≥ 90% of the max savings).
     let max = curve.last().map(|(_, s)| s.savings_nj).unwrap_or(0.0);
-    let knee = curve
-        .iter()
-        .find(|(_, s)| s.savings_nj >= 0.9 * max)
-        .map(|(c, _)| *c)
-        .unwrap_or(4096);
+    let knee =
+        curve.iter().find(|(_, s)| s.savings_nj >= 0.9 * max).map(|(c, _)| *c).unwrap_or(4096);
     println!("\nselected capacity: {knee} bytes (knee of the curve)");
 
     let report = flow.run(&out.model, knee);
@@ -58,6 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in report.code.lines().take(30) {
         println!("{line}");
     }
-    println!("...\n\nPhase III (manual back-annotation) maps these buffers into the legacy source.");
+    println!(
+        "...\n\nPhase III (manual back-annotation) maps these buffers into the legacy source."
+    );
     Ok(())
 }

@@ -50,10 +50,8 @@ fn fixpoint_check(src: &str, filter: FilterConfig) {
     // Compare the read/write reference structure. The emitted program adds
     // one scalar sink (register-allocated: no memory traffic), so the
     // model-worthy references must correspond 1:1.
-    let full_first: Vec<_> =
-        shape_of(&first.model).into_iter().collect();
-    let full_second: Vec<_> =
-        shape_of(&second.model).into_iter().collect();
+    let full_first: Vec<_> = shape_of(&first.model).into_iter().collect();
+    let full_second: Vec<_> = shape_of(&second.model).into_iter().collect();
     assert_eq!(
         full_first, full_second,
         "model shape must be a fixpoint\n-- emitted --\n{emitted}\n-- second code --\n{}",
@@ -142,8 +140,7 @@ fn emitted_model_is_fully_static() {
     minic::check(&mut prog).unwrap();
     let st = foray_baseline::analyze_program(&prog);
     let loops: HashSet<minic::LoopId> = st.canonical_loops.iter().copied().collect();
-    let cmp =
-        foray::CaptureComparison::compute(&second.model, &loops, &st.affine_instrs());
+    let cmp = foray::CaptureComparison::compute(&second.model, &loops, &st.affine_instrs());
     assert_eq!(cmp.model_refs, cmp.static_refs, "emitted model must be fully static");
     assert_eq!(cmp.pct_refs_not_static(), 0.0);
 }

@@ -177,11 +177,19 @@ impl RefExpr {
             RefExpr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
             RefExpr::Div(a, b) => {
                 let d = b.eval();
-                if d == 0 { 0 } else { a.eval().wrapping_div(d) }
+                if d == 0 {
+                    0
+                } else {
+                    a.eval().wrapping_div(d)
+                }
             }
             RefExpr::Rem(a, b) => {
                 let d = b.eval();
-                if d == 0 { 0 } else { a.eval().wrapping_rem(d) }
+                if d == 0 {
+                    0
+                } else {
+                    a.eval().wrapping_rem(d)
+                }
             }
         }
     }

@@ -108,8 +108,7 @@ fn online_mode_is_constant_space_compatible() {
     let w = foray_workloads::by_name("fftc", Params::default()).unwrap();
     let out = w.run().unwrap();
     let prog = w.frontend().unwrap();
-    let (_, records) =
-        minic_sim::run(&prog, &minic_sim::SimConfig::default(), &w.inputs).unwrap();
+    let (_, records) = minic_sim::run(&prog, &minic_sim::SimConfig::default(), &w.inputs).unwrap();
     let offline = foray::analyze(&records);
     assert_eq!(offline.refs().len(), out.analysis.refs().len());
     assert_eq!(offline.accesses(), out.analysis.accesses());

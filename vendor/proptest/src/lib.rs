@@ -1,0 +1,101 @@
+//! Minimal in-tree stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched; this shim implements the API surface the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_recursive`, range / tuple / boolean / integer
+//! strategies, [`collection::vec`], `prop_oneof!`, and the `proptest!`
+//! test-harness macro with `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * generation is driven by a fixed-seed [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//!   generator, so runs are deterministic (override with `PROPTEST_SEED`);
+//! * there is **no shrinking** — a failing case reports the original input;
+//! * no failure persistence files are written.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(&(1usize..=3, -5i64..5), |(a, b)| {
+            if !(1..=3).contains(&a) || !(-5..5).contains(&b) {
+                return Err(crate::test_runner::TestCaseError::fail("out of range"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn filter_map_flat_map_compose() {
+        let strat = (1usize..=3)
+            .prop_flat_map(|n| {
+                crate::collection::vec((0i64..10).prop_filter("odd", |v| v % 2 == 1), n)
+            })
+            .prop_map(|v| v.len());
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(&(strat,), |(len,)| {
+            prop_assert!((1..=3).contains(&len));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug)]
+        enum T {
+            Leaf(i32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(v) => {
+                    assert!((0..100).contains(v), "leaf {v} out of range");
+                    0
+                }
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i32..100).prop_map(T::Leaf);
+        let tree = leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (0i32..100).prop_map(T::Leaf),
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(&(tree,), |(t,)| {
+            prop_assert!(depth(&t) <= 3, "depth {} exceeds recursion bound", depth(&t));
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_macro_smoke(v in crate::collection::vec(any::<u32>(), 0..8), flip in any::<bool>()) {
+            prop_assume!(v.len() != 7);
+            let doubled: Vec<u64> = v.iter().map(|x| u64::from(*x) * 2).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+            if flip {
+                prop_assert!(doubled.iter().all(|d| d % 2 == 0));
+            }
+        }
+    }
+}

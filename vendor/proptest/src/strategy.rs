@@ -1,0 +1,262 @@
+//! The [`Strategy`] trait, its combinators, and strategy implementations
+//! for ranges and tuples.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::{Rejection, TestRng};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a generator. All combinators the workspace tests use are provided.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generates one value, or [`Rejection`] when a filter refused the
+    /// candidate (the runner retries).
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Discards generated values failing `predicate`; `reason` labels the
+    /// filter in diagnostics.
+    fn prop_filter<F>(self, reason: impl fmt::Display, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { source: self, reason: reason.to_string(), predicate }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `branch`
+    /// wraps an inner strategy into one more level, applied `depth` times.
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility and ignored (recursion is bounded by `depth` alone).
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strategy = self.boxed();
+        for _ in 0..depth {
+            strategy = branch(strategy).boxed();
+        }
+        strategy
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.source.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+        let seed = self.source.generate(rng)?;
+        (self.f)(seed).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    #[allow(dead_code)] // diagnostic label, mirrored from the real API
+    reason: String,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        // Retry locally a few times so a mildly selective filter does not
+        // reject the whole composite value it is embedded in.
+        for _ in 0..16 {
+            let candidate = self.source.generate(rng)?;
+            if (self.predicate)(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(Rejection)
+    }
+}
+
+/// Uniform choice between strategies of a common value type; the engine
+/// behind `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// A union over `options`. Must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                Ok((self.start as i128 + rng.below_u128(span) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                Ok((*self.start() as i128 + rng.below_u128(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Uniform choice among strategies producing one value type.
+///
+/// Each arm is boxed, so arms of different strategy types mix freely as
+/// long as their `Value` types agree.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

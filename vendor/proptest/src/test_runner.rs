@@ -1,0 +1,141 @@
+//! Test-case execution: configuration, the deterministic RNG, and the
+//! runner that drives a [`Strategy`](crate::Strategy) through many cases.
+
+use crate::strategy::Strategy;
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Give up after this many generator/`prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65536 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Deterministic [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+/// generator driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator. `PROPTEST_SEED` (decimal u64) overrides the
+    /// built-in fixed seed at runtime.
+    pub fn from_env() -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is ≤ bound/2^64 — irrelevant for test generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[0, bound)` for width-128 spans (signed 64-bit
+    /// ranges can span more than `u64::MAX` values).
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % bound
+    }
+}
+
+/// Why a property case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is false for the generated input.
+    Fail(String),
+    /// `prop_assume!` (or a filter) rejected the input; try another.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Generated input did not satisfy a `prop_filter` predicate.
+#[derive(Debug)]
+pub struct Rejection;
+
+/// Runs one property over many generated cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration and the deterministic seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: TestRng::from_env() }
+    }
+
+    /// Generates inputs from `strategy` and checks `test` against each,
+    /// panicking (so the enclosing `#[test]` fails) on the first failing
+    /// case. There is no shrinking: the panic reports the original input.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            if rejected > self.config.max_global_rejects {
+                panic!(
+                    "proptest shim: too many rejected inputs ({rejected}) after {passed} passing cases; \
+                     loosen the filters or assumptions"
+                );
+            }
+            let value = match strategy.generate(&mut self.rng) {
+                Ok(v) => v,
+                Err(Rejection) => {
+                    rejected += 1;
+                    continue;
+                }
+            };
+            let rendered = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => rejected += 1,
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest shim: property failed after {passed} passing cases\n\
+                         message: {message}\n\
+                         input:   {rendered}"
+                    );
+                }
+            }
+        }
+    }
+}
