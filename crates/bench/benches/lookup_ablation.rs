@@ -38,7 +38,11 @@ fn bench_lookup(c: &mut Criterion) {
         for (name, strategy) in [("hash", LookupStrategy::Hash), ("linear", LookupStrategy::Linear)]
         {
             group.bench_with_input(BenchmarkId::new(name, refs), &trace, |b, t| {
-                let config = AnalyzerConfig { lookup: strategy, track_footprint: false };
+                let config = AnalyzerConfig {
+                    lookup: strategy,
+                    track_footprint: false,
+                    ..AnalyzerConfig::default()
+                };
                 b.iter(|| {
                     let analysis = analyze_with(black_box(t), config.clone());
                     black_box(analysis.refs().len())

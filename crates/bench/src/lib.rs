@@ -21,7 +21,7 @@
 
 #![warn(missing_docs)]
 
-use foray::{CaptureComparison, ForayGenOutput, LoopBreakdown, MemoryBehavior};
+use foray::{BatchJob, CaptureComparison, ForayGen, ForayGenOutput, LoopBreakdown, MemoryBehavior};
 use foray_workloads::{all, Params, Workload};
 use std::collections::HashSet;
 
@@ -74,9 +74,30 @@ impl BenchRun {
     }
 }
 
-/// Runs the whole suite at a scale.
+/// Runs the whole suite at a scale, fanning the workloads across the
+/// shared batch thread pool (auto-sized worker count).
 pub fn run_suite(params: Params) -> Vec<BenchRun> {
-    all(params).into_iter().map(BenchRun::execute).collect()
+    run_suite_with(params, 0)
+}
+
+/// [`run_suite`] with an explicit worker count (`0` = auto-detect; see
+/// [`foray::resolve_shards`]). Results are in workload order and identical
+/// to sequential [`BenchRun::execute`] runs regardless of scheduling.
+pub fn run_suite_with(params: Params, workers: usize) -> Vec<BenchRun> {
+    let workloads = all(params);
+    let jobs: Vec<BatchJob> = workloads.iter().map(|w| w.batch_job(ForayGen::new())).collect();
+    let outputs = foray::analyze_batch(&jobs, workers);
+    workloads
+        .into_iter()
+        .zip(outputs)
+        .map(|(workload, output)| {
+            let output = output.expect("workload runs");
+            let mut program = minic::parse(&workload.source).expect("workload parses");
+            minic::check(&mut program).expect("workload checks");
+            let static_analysis = foray_baseline::analyze_program(&program);
+            BenchRun { workload, program, output, static_analysis }
+        })
+        .collect()
 }
 
 /// Renders an aligned text table.
@@ -162,6 +183,22 @@ mod tests {
         assert_eq!(human(123_456), "123k");
         assert_eq!(human(42), "42");
         assert_eq!(human(43_000_000), "43M");
+    }
+
+    #[test]
+    fn batched_suite_matches_direct_execution() {
+        // The batch pool must not change any experiment number.
+        let batched = run_suite_with(Params::default(), 3);
+        assert_eq!(batched.len(), 6);
+        let direct =
+            BenchRun::execute(foray_workloads::by_name("gsmc", Params::default()).unwrap());
+        let from_batch = batched.iter().find(|r| r.workload.name == "gsmc").unwrap();
+        assert_eq!(from_batch.output.analysis, direct.output.analysis);
+        assert_eq!(from_batch.output.code, direct.output.code);
+        let t3a = from_batch.table3();
+        let t3b = direct.table3();
+        assert_eq!(t3a.total_accesses, t3b.total_accesses);
+        assert_eq!(t3a.model_footprint, t3b.model_footprint);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!
 //! Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime error.
 
-use foray::{FilterConfig, ForayGen};
+use foray::{AnalyzerConfig, FilterConfig, ForayGen};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -49,8 +49,13 @@ const USAGE: &str = "usage:
   foray-gen report   <prog.mc> [--nexec N] [--nloc N] [--inputs v,v,..]
   foray-gen trace    <prog.mc> [--format text|binary] [-o FILE] [--inputs v,v,..]
   foray-gen annotate <prog.mc>
-  foray-gen spm      <prog.mc> [--capacity BYTES] [--nexec N] [--nloc N] [--inputs v,v,..]";
+  foray-gen spm      <prog.mc> [--capacity BYTES] [--nexec N] [--nloc N] [--inputs v,v,..]
 
+analysis flags (model/report/spm):
+  --sharded   analyze the trace on K parallel shard workers (identical output)
+  --jobs N    shard/worker count for --sharded (default: available parallelism)";
+
+#[derive(Debug)]
 enum CliError {
     Usage(String),
     Compile(String),
@@ -82,6 +87,8 @@ struct Options {
     output: Option<String>,
     capacity: u32,
     executable: bool,
+    sharded: bool,
+    jobs: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -94,6 +101,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         output: None,
         capacity: 4096,
         executable: false,
+        sharded: false,
+        jobs: 0,
     };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -105,6 +114,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--nloc" => opts.n_loc = parse_num(&need(&mut it, "--nloc")?)?,
             "--capacity" => opts.capacity = parse_num(&need(&mut it, "--capacity")?)? as u32,
             "--executable" => opts.executable = true,
+            "--sharded" => opts.sharded = true,
+            "--jobs" => opts.jobs = parse_num(&need(&mut it, "--jobs")?)? as usize,
             "--format" => opts.format = need(&mut it, "--format")?,
             "-o" | "--output" => opts.output = Some(need(&mut it, "-o")?),
             "--inputs" => {
@@ -149,6 +160,8 @@ fn pipeline(opts: &Options) -> ForayGen {
     ForayGen::new()
         .filter(FilterConfig { n_exec: opts.n_exec, n_loc: opts.n_loc })
         .inputs(opts.inputs.clone())
+        .analyzer(AnalyzerConfig { shards: opts.jobs, ..AnalyzerConfig::default() })
+        .sharded(opts.sharded)
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -332,6 +345,26 @@ mod tests {
                 .map(|s| s.to_string())
                 .collect();
         assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn sharded_flags_parse_and_run() {
+        let path = write_temp("sharded", PROG);
+        let args: Vec<String> = ["model", path.as_str(), "--sharded", "--jobs", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).is_ok());
+        let parsed = parse_options(&args[1..]).unwrap();
+        assert!(parsed.sharded);
+        assert_eq!(parsed.jobs, 3);
+        // --jobs alone (no --sharded) parses but leaves the sequential path.
+        let seq = parse_options(&["x.mc".to_owned(), "--jobs".to_owned(), "2".to_owned()]).unwrap();
+        assert!(!seq.sharded);
+        assert!(matches!(
+            parse_options(&["x.mc".to_owned(), "--jobs".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -50,6 +50,35 @@ fn model_command_recovers_figure4_coefficients() {
 }
 
 #[test]
+fn sharded_model_command_matches_the_sequential_output() {
+    // `--sharded --jobs 4` routes the analysis through four shard workers;
+    // the recovered model (coefficients 1 and 103) and the exit code must
+    // be byte-identical to the sequential path.
+    let path = write_fixture("sharded");
+    let sequential = foray_gen(&["model", path.to_str().unwrap(), "--nexec", "6", "--nloc", "6"]);
+    let sharded = foray_gen(&[
+        "model",
+        path.to_str().unwrap(),
+        "--nexec",
+        "6",
+        "--nloc",
+        "6",
+        "--sharded",
+        "--jobs",
+        "4",
+    ]);
+    assert!(sequential.status.success());
+    assert!(sharded.status.success(), "stderr: {}", String::from_utf8_lossy(&sharded.stderr));
+    assert_eq!(sequential.status.code(), sharded.status.code());
+    let stdout = String::from_utf8(sharded.stdout.clone()).unwrap();
+    assert!(
+        stdout.contains("+ 1*i3 + 103*i0]"),
+        "sharded analysis lost the Fig. 4 coefficients:\n{stdout}"
+    );
+    assert_eq!(sequential.stdout, sharded.stdout, "sharded output must be byte-identical");
+}
+
+#[test]
 fn executable_model_reprofiles_to_the_same_coefficients() {
     // --executable emits the model as a runnable mini-C program; piping it
     // back through `model` must be a fixpoint on the affine function.

@@ -34,11 +34,15 @@ pub struct AnalyzerConfig {
     pub track_footprint: bool,
     /// Reference lookup strategy.
     pub lookup: LookupStrategy,
+    /// Shard count for [`crate::shard::ShardedAnalyzer`]; `0` means
+    /// auto-detect (the `FORAY_TEST_THREADS` env override, else available
+    /// parallelism). The sequential [`Analyzer`] ignores this field.
+    pub shards: usize,
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
-        AnalyzerConfig { track_footprint: true, lookup: LookupStrategy::Hash }
+        AnalyzerConfig { track_footprint: true, lookup: LookupStrategy::Hash, shards: 0 }
     }
 }
 
@@ -69,7 +73,7 @@ impl RefClass {
 
 /// One static memory reference: an instruction address at a loop-tree
 /// position, with its fitted affine state and access counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RefRecord {
     /// Instruction address identifying the source-level site.
     pub instr: InstrAddr,
@@ -119,6 +123,12 @@ impl Analyzer {
     /// Finishes analysis, yielding the immutable results.
     pub fn into_analysis(self) -> Analysis {
         Analysis { tree: self.tree, refs: self.refs, accesses: self.accesses }
+    }
+
+    /// References discovered so far (the sharded driver watches this to
+    /// stamp each reference's first-observation ordinal).
+    pub fn ref_count(&self) -> usize {
+        self.refs.len()
     }
 
     fn on_access(&mut self, a: &Access) {
@@ -202,7 +212,7 @@ impl TraceSink for Analyzer {
 
 /// Immutable analysis results: the reconstructed loop tree and every
 /// reference with its fitted affine state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Analysis {
     tree: LoopTree,
     refs: Vec<RefRecord>,
@@ -210,6 +220,17 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Assembles an analysis from merged shard results (see
+    /// [`crate::shard`]).
+    pub(crate) fn from_parts(tree: LoopTree, refs: Vec<RefRecord>, accesses: u64) -> Analysis {
+        Analysis { tree, refs, accesses }
+    }
+
+    /// Decomposes the analysis for the shard merge.
+    pub(crate) fn into_parts(self) -> (LoopTree, Vec<RefRecord>, u64) {
+        (self.tree, self.refs, self.accesses)
+    }
+
     /// The reconstructed loop tree.
     pub fn tree(&self) -> &LoopTree {
         &self.tree

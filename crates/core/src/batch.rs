@@ -1,0 +1,144 @@
+//! Batch execution: fan many full FORAY-GEN jobs across a shared thread
+//! pool.
+//!
+//! The sharded analyzer ([`crate::shard`]) parallelizes *within* one trace;
+//! this module parallelizes *across* programs — the shape of the bench
+//! suite (six workloads × tables) and of design-space exploration sweeps.
+//! Jobs are pulled from a shared atomic cursor by `N` scoped worker
+//! threads, and results are returned **in job order** regardless of which
+//! worker finished first, so batch output is deterministic.
+
+use crate::pipeline::{ForayGen, ForayGenOutput, PipelineError};
+use crate::shard::resolve_shards;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// One unit of batch work: a source program plus the pipeline to run it
+/// through (filter thresholds, inputs, analyzer configuration — including
+/// sharded analysis, if the pipeline asks for it).
+#[derive(Debug, Clone, Default)]
+pub struct BatchJob {
+    /// Label for reports (workload name, file name, ...).
+    pub name: String,
+    /// mini-C source text.
+    pub source: String,
+    /// The configured pipeline to run the source through.
+    pub pipeline: ForayGen,
+}
+
+impl BatchJob {
+    /// Creates a job with a default pipeline.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> BatchJob {
+        BatchJob { name: name.into(), source: source.into(), pipeline: ForayGen::new() }
+    }
+
+    /// Replaces the pipeline configuration.
+    pub fn pipeline(mut self, pipeline: ForayGen) -> BatchJob {
+        self.pipeline = pipeline;
+        self
+    }
+}
+
+/// Runs every job across `workers` threads (`0` = auto-detect, see
+/// [`resolve_shards`]), returning one result per job **in job order**.
+///
+/// # Examples
+///
+/// ```
+/// use foray::BatchJob;
+///
+/// let jobs = vec![
+///     BatchJob::new("a", "int x[64]; void main() { int i; for (i = 0; i < 64; i++) { x[i] = i; } }"),
+///     BatchJob::new("b", "void main() {"), // does not compile
+/// ];
+/// let results = foray::analyze_batch(&jobs, 2);
+/// assert!(results[0].is_ok());
+/// assert!(matches!(results[1], Err(foray::PipelineError::Frontend(_))));
+/// ```
+pub fn analyze_batch(
+    jobs: &[BatchJob],
+    workers: usize,
+) -> Vec<Result<ForayGenOutput, PipelineError>> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = resolve_shards(workers).min(jobs.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<ForayGenOutput, PipelineError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if tx.send((i, job.pipeline.run_source(&job.source))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every job produces exactly one result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "int a[128]; void main() { int i; for (i = 0; i < 128; i++) { a[i] = i; } }";
+
+    fn jobs(n: usize) -> Vec<BatchJob> {
+        (0..n).map(|i| BatchJob::new(format!("job{i}"), GOOD)).collect()
+    }
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        let js = jobs(9);
+        let results = analyze_batch(&js, 4);
+        assert_eq!(results.len(), 9);
+        for r in &results {
+            let out = r.as_ref().expect("job runs");
+            assert_eq!(out.model.ref_count(), 1);
+        }
+    }
+
+    #[test]
+    fn errors_stay_in_their_slot() {
+        let mut js = jobs(4);
+        js[2].source = "void main() {".to_owned();
+        let results = analyze_batch(&js, 2);
+        assert!(results[0].is_ok() && results[1].is_ok() && results[3].is_ok());
+        assert!(matches!(results[2], Err(PipelineError::Frontend(_))));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(analyze_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let js = jobs(2);
+        let results = analyze_batch(&js, 16);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn batch_agrees_with_direct_runs() {
+        let js = jobs(3);
+        let batch = analyze_batch(&js, 3);
+        for (job, res) in js.iter().zip(&batch) {
+            let direct = job.pipeline.run_source(&job.source).unwrap();
+            let out = res.as_ref().unwrap();
+            assert_eq!(out.analysis, direct.analysis);
+            assert_eq!(out.code, direct.code);
+        }
+    }
+}

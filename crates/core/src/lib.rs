@@ -55,20 +55,24 @@
 
 pub mod affine;
 pub mod analyzer;
+pub mod batch;
 pub mod codegen;
 pub mod hints;
 pub mod looptree;
 pub mod model;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 pub mod srcmap;
 
 pub use affine::AffineState;
 pub use analyzer::{
     analyze, analyze_with, Analysis, Analyzer, AnalyzerConfig, LookupStrategy, RefClass, RefRecord,
 };
+pub use batch::{analyze_batch, BatchJob};
 pub use hints::InlineHint;
 pub use looptree::{LoopTree, NodeId, ROOT};
 pub use model::{AffineTerm, FilterConfig, ForayModel, ModelDiff, ModelLoop, ModelRef};
 pub use pipeline::{ForayGen, ForayGenOutput, PipelineError};
 pub use report::{CaptureComparison, LoopBreakdown, LoopKind, MemoryBehavior};
+pub use shard::{analyze_sharded, analyze_sharded_with, resolve_shards, ShardedAnalyzer};

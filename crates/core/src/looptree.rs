@@ -27,7 +27,7 @@ pub struct NodeId(pub u32);
 pub const ROOT: NodeId = NodeId(0);
 
 /// One loop node (or the root) of the reconstructed structure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// Parent node; `None` for the root.
     pub parent: Option<NodeId>,
@@ -82,7 +82,7 @@ impl Node {
 }
 
 /// The reconstructed loop tree and the walking pointer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopTree {
     nodes: Vec<Node>,
     current: NodeId,

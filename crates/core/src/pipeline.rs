@@ -9,9 +9,10 @@ use crate::analyzer::{Analysis, Analyzer, AnalyzerConfig};
 use crate::codegen;
 use crate::hints::{inline_hints, InlineHint};
 use crate::model::{FilterConfig, ForayModel};
+use crate::shard::ShardedAnalyzer;
 use minic::Program;
 use minic_sim::{RuntimeError, SimConfig, SimOutcome};
-use minic_trace::{TeeSink, TraceStats};
+use minic_trace::{TeeSink, TraceSink, TraceStats};
 use std::fmt;
 
 /// Pipeline failure: either the frontend rejected the program or the
@@ -119,6 +120,7 @@ pub struct ForayGen {
     analyzer: AnalyzerConfig,
     sim: SimConfig,
     inputs: Vec<i64>,
+    sharded: bool,
 }
 
 impl ForayGen {
@@ -137,6 +139,16 @@ impl ForayGen {
     /// Sets the analyzer configuration.
     pub fn analyzer(mut self, config: AnalyzerConfig) -> Self {
         self.analyzer = config;
+        self
+    }
+
+    /// Routes the analysis through [`ShardedAnalyzer`] (K parallel shard
+    /// workers; K from the analyzer configuration's `shards`, `0` = auto).
+    /// The result is identical to the sequential path — this trades the
+    /// constant-space online property for wall-clock speed on large
+    /// traces.
+    pub fn sharded(mut self, on: bool) -> Self {
+        self.sharded = on;
         self
     }
 
@@ -176,13 +188,30 @@ impl ForayGen {
         self.run_instrumented(prog)
     }
 
-    fn run_instrumented(&self, prog: Program) -> Result<ForayGenOutput, PipelineError> {
-        // Online mode: analyzer and trace statistics ride the simulation.
-        let mut sink =
-            TeeSink::new(Analyzer::with_config(self.analyzer.clone()), TraceStats::new());
-        let sim = minic_sim::run_with_sink(&prog, &self.sim, &self.inputs, &mut sink)?;
+    /// Profiles the program with `analyzer` (and trace statistics) riding
+    /// the simulation as sinks.
+    fn profile<A: TraceSink>(
+        &self,
+        prog: &Program,
+        analyzer: A,
+    ) -> Result<(A, SimOutcome, TraceStats), PipelineError> {
+        let mut sink = TeeSink::new(analyzer, TraceStats::new());
+        let sim = minic_sim::run_with_sink(prog, &self.sim, &self.inputs, &mut sink)?;
         let (analyzer, trace_stats) = sink.into_inner();
-        let analysis = analyzer.into_analysis();
+        Ok((analyzer, sim, trace_stats))
+    }
+
+    fn run_instrumented(&self, prog: Program) -> Result<ForayGenOutput, PipelineError> {
+        // The sharded variant buffers routed shards during the run and fans
+        // out worker threads afterwards, producing an identical analysis.
+        let (analysis, sim, trace_stats) = if self.sharded {
+            let (a, sim, ts) =
+                self.profile(&prog, ShardedAnalyzer::with_config(self.analyzer.clone()))?;
+            (a.into_analysis(), sim, ts)
+        } else {
+            let (a, sim, ts) = self.profile(&prog, Analyzer::with_config(self.analyzer.clone()))?;
+            (a.into_analysis(), sim, ts)
+        };
         let model = ForayModel::extract(&analysis, &self.filter);
         let code = codegen::emit(&model);
         let hints = inline_hints(&prog, analysis.tree());
@@ -310,6 +339,19 @@ mod tests {
         for (a, b) in offline.refs().iter().zip(online.analysis.refs()) {
             assert_eq!(a.state, b.state);
         }
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_sequential() {
+        let seq = ForayGen::new().run_source(FIG4).unwrap();
+        let sharded = ForayGen::new()
+            .sharded(true)
+            .analyzer(AnalyzerConfig { shards: 3, ..AnalyzerConfig::default() })
+            .run_source(FIG4)
+            .unwrap();
+        assert_eq!(seq.analysis, sharded.analysis);
+        assert_eq!(seq.code, sharded.code);
+        assert_eq!(seq.trace_stats, sharded.trace_stats);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Sharded parallel analysis: the analyzer scale-out.
+//!
+//! Algorithm 3's per-reference state depends only on (a) the accesses of
+//! that reference's own `(node, instruction)` key, in stream order, and
+//! (b) the loop-tree walker position, which is driven by checkpoints alone.
+//! The analysis is therefore embarrassingly parallel across references:
+//! partition the access stream by instruction address into K shards, give
+//! every shard the full checkpoint stream, run K independent sequential
+//! [`Analyzer`]s, and merge.
+//!
+//! The merge restores **bit-for-bit equivalence** with the sequential
+//! analysis:
+//!
+//! * every shard replays every checkpoint, so all shards reconstruct the
+//!   *same* loop tree (same [`crate::looptree::NodeId`] assignment, same
+//!   entry/trip statistics) — any shard's tree is the sequential tree;
+//! * each reference's [`RefRecord`] is built from exactly the accesses the
+//!   sequential analyzer would feed it, in the same order, under the same
+//!   iterator values;
+//! * each reference is tagged with the global ordinal of its first access,
+//!   and the merged reference list is sorted by that ordinal — recovering
+//!   the sequential first-observation order regardless of thread
+//!   scheduling.
+//!
+//! Workers run on [`std::thread::scope`] and report results over an mpsc
+//! channel; determinism never depends on completion order.
+
+use crate::analyzer::{Analysis, Analyzer, AnalyzerConfig, RefRecord};
+use crate::looptree::LoopTree;
+use minic_trace::{shard_of, Record, ShardBuffer, ShardingSink, TraceSink};
+use std::sync::mpsc;
+
+/// Resolves a requested shard/worker count: `0` means auto-detect — the
+/// `FORAY_TEST_THREADS` environment override if set (the CI knob for
+/// exercising the sharded path under constrained parallelism), otherwise
+/// [`std::thread::available_parallelism`].
+pub fn resolve_shards(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("FORAY_TEST_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// One shard worker's output: its (complete) loop tree, its references
+/// tagged with their first-observation global ordinal, and its access
+/// count.
+struct ShardResult {
+    tree: LoopTree,
+    tagged: Vec<(u64, RefRecord)>,
+    accesses: u64,
+}
+
+/// Wraps a sequential [`Analyzer`], stamping each newly discovered
+/// reference with the global ordinal of the access that created it.
+struct ShardRun {
+    analyzer: Analyzer,
+    first_seen: Vec<u64>,
+}
+
+impl ShardRun {
+    fn new(config: &AnalyzerConfig) -> ShardRun {
+        ShardRun { analyzer: Analyzer::with_config(config.clone()), first_seen: Vec::new() }
+    }
+
+    fn checkpoint(&mut self, rec: &Record) {
+        self.analyzer.record(rec);
+    }
+
+    fn access(&mut self, rec: &Record, global_seq: u64) {
+        let before = self.analyzer.ref_count();
+        self.analyzer.record(rec);
+        if self.analyzer.ref_count() > before {
+            self.first_seen.push(global_seq);
+        }
+    }
+
+    fn finish(self) -> ShardResult {
+        let (tree, refs, accesses) = self.analyzer.into_analysis().into_parts();
+        debug_assert_eq!(refs.len(), self.first_seen.len());
+        let tagged = self.first_seen.into_iter().zip(refs).collect();
+        ShardResult { tree, tagged, accesses }
+    }
+}
+
+/// Replays a routed per-shard buffer (online mode).
+fn run_shard_buffer(buf: &ShardBuffer, config: &AnalyzerConfig) -> ShardResult {
+    let mut run = ShardRun::new(config);
+    let mut seqs = buf.access_seqs.iter();
+    for rec in &buf.records {
+        match rec {
+            Record::Checkpoint { .. } => run.checkpoint(rec),
+            Record::Access(_) => {
+                let seq = *seqs.next().expect("one ordinal per routed access");
+                run.access(rec, seq);
+            }
+        }
+    }
+    run.finish()
+}
+
+/// Scans the shared full slice, filtering to one shard (offline mode —
+/// zero-copy: no routing buffers, every worker reads the same slice).
+fn run_shard_slice(
+    records: &[Record],
+    shard: usize,
+    shards: usize,
+    config: &AnalyzerConfig,
+) -> ShardResult {
+    let mut run = ShardRun::new(config);
+    let mut seq = 0u64;
+    for rec in records {
+        match rec {
+            Record::Checkpoint { .. } => run.checkpoint(rec),
+            Record::Access(a) => {
+                let s = seq;
+                seq += 1;
+                if shard_of(a.instr, shards) == shard {
+                    run.access(rec, s);
+                }
+            }
+        }
+    }
+    run.finish()
+}
+
+/// Merges shard results into the sequential-equivalent [`Analysis`].
+fn merge(results: Vec<ShardResult>) -> Analysis {
+    let mut accesses = 0u64;
+    let mut tagged: Vec<(u64, RefRecord)> = Vec::new();
+    let mut tree: Option<LoopTree> = None;
+    for r in results {
+        accesses += r.accesses;
+        tagged.extend(r.tagged);
+        match &tree {
+            None => tree = Some(r.tree),
+            Some(t) => debug_assert!(*t == r.tree, "shards must reconstruct identical trees"),
+        }
+    }
+    // First-observation ordinals are globally unique (each access creates
+    // at most one reference), so this order is total and deterministic.
+    tagged.sort_unstable_by_key(|(seq, _)| *seq);
+    let refs = tagged.into_iter().map(|(_, r)| r).collect();
+    Analysis::from_parts(tree.unwrap_or_default(), refs, accesses)
+}
+
+/// Fans shard workers out over scoped threads, collecting over a channel.
+fn run_workers<F>(shards: usize, worker: F) -> Vec<ShardResult>
+where
+    F: Fn(usize) -> ShardResult + Sync,
+{
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<ShardResult>();
+        for shard in 0..shards {
+            let tx = tx.clone();
+            let worker = &worker;
+            scope.spawn(move || {
+                // A panic in `worker` drops `tx`; the scope re-raises it.
+                let _ = tx.send(worker(shard));
+            });
+        }
+        drop(tx);
+        rx.iter().collect()
+    })
+}
+
+/// Parallel drop-in for the sequential [`Analyzer`]: collect the record
+/// stream (it is a [`TraceSink`], so it can ride a profiling run), then
+/// analyze the shards on worker threads at [`Self::into_analysis`] time.
+///
+/// The result is *identical* to what [`crate::analyze`] produces on the
+/// same stream — same reference order, same loop tree, same footprints and
+/// access counts (see `tests/shard_equiv.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use minic::CheckpointKind::*;
+/// use minic_trace::{AccessKind, Record, TraceSink};
+///
+/// let mut sharded = foray::ShardedAnalyzer::new();
+/// let trace = vec![
+///     Record::checkpoint(0, LoopBegin),
+///     Record::checkpoint(0, BodyBegin),
+///     Record::access(0x400000, 0x1000_0000, AccessKind::Read),
+///     Record::checkpoint(0, BodyEnd),
+///     Record::checkpoint(0, BodyBegin),
+///     Record::access(0x400000, 0x1000_0004, AccessKind::Read),
+///     Record::checkpoint(0, BodyEnd),
+/// ];
+/// for r in &trace {
+///     sharded.record(r);
+/// }
+/// let analysis = sharded.into_analysis();
+/// assert_eq!(analysis, foray::analyze(&trace));
+/// ```
+#[derive(Debug)]
+pub struct ShardedAnalyzer {
+    config: AnalyzerConfig,
+    sink: ShardingSink,
+}
+
+impl Default for ShardedAnalyzer {
+    fn default() -> Self {
+        ShardedAnalyzer::new()
+    }
+}
+
+impl ShardedAnalyzer {
+    /// Creates a sharded analyzer with the default configuration
+    /// (auto-detected shard count).
+    pub fn new() -> Self {
+        ShardedAnalyzer::with_config(AnalyzerConfig::default())
+    }
+
+    /// Creates a sharded analyzer with an explicit configuration;
+    /// `config.shards == 0` auto-detects (see [`resolve_shards`]).
+    pub fn with_config(config: AnalyzerConfig) -> Self {
+        let shards = resolve_shards(config.shards);
+        ShardedAnalyzer { config, sink: ShardingSink::new(shards) }
+    }
+
+    /// The shard count workers will fan out to.
+    pub fn shard_count(&self) -> usize {
+        self.sink.shard_count()
+    }
+
+    /// Feeds a whole pre-recorded trace (offline mode).
+    pub fn consume<'a>(&mut self, records: impl IntoIterator<Item = &'a Record>) {
+        for r in records {
+            self.record(r);
+        }
+    }
+
+    /// Runs the shard workers and merges their results.
+    pub fn into_analysis(self) -> Analysis {
+        let buffers = self.sink.into_shards();
+        let config = &self.config;
+        let results = run_workers(buffers.len(), |shard| run_shard_buffer(&buffers[shard], config));
+        merge(results)
+    }
+}
+
+impl TraceSink for ShardedAnalyzer {
+    fn record(&mut self, rec: &Record) {
+        self.sink.record(rec);
+    }
+}
+
+/// Analyzes a complete record slice across `shards` parallel workers
+/// (`0` = auto), producing a result identical to [`crate::analyze`].
+///
+/// Unlike the sink-driven [`ShardedAnalyzer`], this path is zero-copy:
+/// every worker scans the shared slice and filters to its own accesses.
+pub fn analyze_sharded(records: &[Record], shards: usize) -> Analysis {
+    analyze_sharded_with(records, AnalyzerConfig { shards, ..AnalyzerConfig::default() })
+}
+
+/// [`analyze_sharded`] with an explicit configuration.
+pub fn analyze_sharded_with(records: &[Record], config: AnalyzerConfig) -> Analysis {
+    let shards = resolve_shards(config.shards);
+    let results = run_workers(shards, |shard| run_shard_slice(records, shard, shards, &config));
+    merge(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use minic::CheckpointKind::{BodyBegin as BB, BodyEnd as BE, LoopBegin as LB};
+    use minic_trace::AccessKind;
+
+    /// A two-level nest touching several distinct instructions per body, so
+    /// shards split meaningfully.
+    fn multi_ref_trace() -> Vec<Record> {
+        let mut t = vec![Record::checkpoint(0, LB)];
+        for i in 0..4u32 {
+            t.push(Record::checkpoint(0, BB));
+            t.push(Record::checkpoint(1, LB));
+            for j in 0..3u32 {
+                t.push(Record::checkpoint(1, BB));
+                for instr in [0x40_0000u32, 0x40_0008, 0x40_0010, 0x41_0000, 0x42_0040] {
+                    let addr = 0x1000_0000 + instr / 16 + 4 * j + 64 * i;
+                    t.push(Record::access(instr, addr, AccessKind::Read));
+                }
+                t.push(Record::checkpoint(1, BE));
+            }
+            t.push(Record::checkpoint(0, BE));
+        }
+        t
+    }
+
+    #[test]
+    fn slice_mode_equals_sequential_for_various_k() {
+        let trace = multi_ref_trace();
+        let sequential = analyze(&trace);
+        for k in [1, 2, 3, 7, 16] {
+            let sharded = analyze_sharded(&trace, k);
+            assert_eq!(sharded, sequential, "K={k}");
+        }
+    }
+
+    #[test]
+    fn sink_mode_equals_sequential() {
+        let trace = multi_ref_trace();
+        let sequential = analyze(&trace);
+        for k in [1, 2, 5] {
+            let mut sharded = ShardedAnalyzer::with_config(AnalyzerConfig {
+                shards: k,
+                ..AnalyzerConfig::default()
+            });
+            sharded.consume(&trace);
+            assert_eq!(sharded.shard_count(), k);
+            assert_eq!(sharded.into_analysis(), sequential, "K={k}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_analysis() {
+        let analysis = analyze_sharded(&[], 4);
+        assert_eq!(analysis.refs().len(), 0);
+        assert_eq!(analysis.accesses(), 0);
+        assert!(analysis.tree().is_empty());
+    }
+
+    #[test]
+    fn more_shards_than_references_is_fine() {
+        let trace = vec![Record::access(0x40_0000, 0x1000_0000, AccessKind::Read)];
+        let analysis = analyze_sharded(&trace, 32);
+        assert_eq!(analysis, analyze(&trace));
+    }
+
+    #[test]
+    fn resolve_shards_prefers_explicit_request() {
+        assert_eq!(resolve_shards(3), 3);
+        assert!(resolve_shards(0) >= 1);
+    }
+
+    #[test]
+    fn checkpoint_only_stream_keeps_the_tree() {
+        let trace =
+            vec![Record::checkpoint(0, LB), Record::checkpoint(0, BB), Record::checkpoint(0, BE)];
+        let analysis = analyze_sharded(&trace, 3);
+        assert_eq!(analysis, analyze(&trace));
+        assert_eq!(analysis.tree().len(), 2);
+    }
+}

@@ -34,11 +34,13 @@
 pub mod binary;
 pub mod layout;
 pub mod record;
+pub mod shard;
 pub mod sink;
 pub mod stats;
 pub mod text;
 
 pub use record::{Access, AccessKind, InstrAddr, MemAddr, Record};
+pub use shard::{shard_of, ShardBuffer, ShardingSink};
 pub use sink::{CountingSink, NullSink, TeeSink, TraceSink, VecSink};
 pub use stats::TraceStats;
 pub use text::ParseTraceError;

@@ -1,0 +1,187 @@
+//! Record-stream sharding for parallel analysis.
+//!
+//! The affine state of a reference depends only on the accesses of its own
+//! `(node, instruction)` key plus the checkpoint stream that positions the
+//! loop-tree walker — so a trace can be split by *instruction address* into
+//! K independent sub-streams, each carrying every checkpoint but only its
+//! own slice of the accesses. [`ShardingSink`] performs that routing online
+//! (it is a [`TraceSink`], so it can ride a profiling run), stamping each
+//! access with its global ordinal so a downstream merge can restore the
+//! exact first-observation order of the sequential analysis.
+
+use crate::record::{InstrAddr, Record};
+use crate::sink::TraceSink;
+
+/// Deterministically maps an instruction address to a shard in `0..shards`.
+///
+/// Uses a Fibonacci multiplicative hash so that the dense, stride-patterned
+/// synthetic instruction addresses of the simulator spread evenly instead
+/// of aliasing a plain modulus.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{shard_of, InstrAddr};
+///
+/// let s = shard_of(InstrAddr(0x4002a0), 4);
+/// assert!(s < 4);
+/// assert_eq!(s, shard_of(InstrAddr(0x4002a0), 4)); // stable
+/// ```
+pub fn shard_of(instr: InstrAddr, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be non-zero");
+    let h = (instr.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // High bits carry the most mixing; fold them into the modulus.
+    ((h >> 32) % shards as u64) as usize
+}
+
+/// One shard's routed sub-stream: every checkpoint of the original trace
+/// plus this shard's accesses, each access tagged with its global ordinal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardBuffer {
+    /// Records in original relative order (all checkpoints + own accesses).
+    pub records: Vec<Record>,
+    /// Global access ordinal for each `Record::Access` in `records`,
+    /// in the same order the accesses appear.
+    pub access_seqs: Vec<u64>,
+}
+
+/// Routes a record stream into per-shard buffers (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardingSink {
+    shards: Vec<ShardBuffer>,
+    seq: u64,
+}
+
+impl ShardingSink {
+    /// Creates a sink with `shards` empty buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be non-zero");
+        ShardingSink { shards: vec![ShardBuffer::default(); shards], seq: 0 }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total accesses routed so far.
+    pub fn accesses(&self) -> u64 {
+        self.seq
+    }
+
+    /// Borrows the shard buffers.
+    pub fn shards(&self) -> &[ShardBuffer] {
+        &self.shards
+    }
+
+    /// Consumes the sink, yielding the per-shard buffers.
+    pub fn into_shards(self) -> Vec<ShardBuffer> {
+        self.shards
+    }
+}
+
+impl TraceSink for ShardingSink {
+    fn record(&mut self, rec: &Record) {
+        match rec {
+            Record::Checkpoint { .. } => {
+                for shard in &mut self.shards {
+                    shard.records.push(*rec);
+                }
+            }
+            Record::Access(a) => {
+                let idx = shard_of(a.instr, self.shards.len());
+                let shard = &mut self.shards[idx];
+                shard.records.push(*rec);
+                shard.access_seqs.push(self.seq);
+                self.seq += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AccessKind;
+    use minic::CheckpointKind;
+
+    fn sample(n_access: u32) -> Vec<Record> {
+        let mut recs = vec![Record::checkpoint(0, CheckpointKind::LoopBegin)];
+        for i in 0..n_access {
+            recs.push(Record::checkpoint(0, CheckpointKind::BodyBegin));
+            recs.push(Record::access(0x40_0000 + 8 * i, 0x1000 + i, AccessKind::Read));
+            recs.push(Record::checkpoint(0, CheckpointKind::BodyEnd));
+        }
+        recs
+    }
+
+    #[test]
+    fn checkpoints_broadcast_accesses_partition() {
+        let mut sink = ShardingSink::new(3);
+        for r in sample(30) {
+            sink.record(&r);
+        }
+        assert_eq!(sink.accesses(), 30);
+        let shards = sink.into_shards();
+        let checkpoints: Vec<usize> = shards
+            .iter()
+            .map(|s| s.records.iter().filter(|r| matches!(r, Record::Checkpoint { .. })).count())
+            .collect();
+        assert_eq!(checkpoints, vec![61, 61, 61], "every shard sees every checkpoint");
+        let total_accesses: usize = shards
+            .iter()
+            .map(|s| s.records.iter().filter(|r| matches!(r, Record::Access(_))).count())
+            .sum();
+        assert_eq!(total_accesses, 30, "accesses are partitioned, not duplicated");
+    }
+
+    #[test]
+    fn access_seqs_are_a_partition_of_the_ordinals() {
+        let mut sink = ShardingSink::new(4);
+        for r in sample(50) {
+            sink.record(&r);
+        }
+        let mut seqs: Vec<u64> =
+            sink.shards().iter().flat_map(|s| s.access_seqs.iter().copied()).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..50).collect::<Vec<u64>>());
+        for s in sink.shards() {
+            assert!(s.access_seqs.windows(2).all(|w| w[0] < w[1]), "per-shard seqs ascend");
+            let n = s.records.iter().filter(|r| matches!(r, Record::Access(_))).count();
+            assert_eq!(n, s.access_seqs.len());
+        }
+    }
+
+    #[test]
+    fn same_instruction_always_lands_on_the_same_shard() {
+        let mut sink = ShardingSink::new(5);
+        for _ in 0..10 {
+            sink.record(&Record::access(0x4002a0, 0x7fff5934, AccessKind::Write));
+        }
+        let populated = sink.shards().iter().filter(|s| !s.records.is_empty()).count();
+        assert_eq!(populated, 1);
+    }
+
+    #[test]
+    fn single_shard_is_the_identity_routing() {
+        let mut sink = ShardingSink::new(1);
+        for r in sample(10) {
+            sink.record(&r);
+        }
+        assert_eq!(sink.shards()[0].records, sample(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_shards_rejected() {
+        ShardingSink::new(0);
+    }
+}

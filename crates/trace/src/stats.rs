@@ -9,7 +9,7 @@ use std::collections::HashSet;
 /// Aggregate statistics over a trace. Implements [`TraceSink`], so it can
 /// ride along any profiling run (e.g. inside a
 /// [`TeeSink`](crate::sink::TeeSink)).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct TraceStats {
     /// Total access records.
     pub accesses: u64,

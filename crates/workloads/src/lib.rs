@@ -99,6 +99,14 @@ impl Workload {
     pub fn frontend(&self) -> Result<minic::Program, minic::Error> {
         minic::frontend(&self.source)
     }
+
+    /// Packages the workload as a [`foray::BatchJob`] for
+    /// [`foray::analyze_batch`], installing this workload's inputs on top
+    /// of the given pipeline configuration.
+    pub fn batch_job(&self, pipeline: foray::ForayGen) -> foray::BatchJob {
+        foray::BatchJob::new(self.name, self.source.clone())
+            .pipeline(pipeline.inputs(self.inputs.clone()))
+    }
 }
 
 /// All six workloads at the given size.

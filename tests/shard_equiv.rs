@@ -1,0 +1,173 @@
+//! Sequential/sharded equivalence lock-down.
+//!
+//! The sharded analyzer (`foray::shard`) promises an `Analysis` that is
+//! *identical* to the sequential one — same reference order, same fitted
+//! affine states, same loop tree, same footprints and access counts. This
+//! suite pins that promise on three fronts:
+//!
+//! * randomly generated record streams (property test), K ∈ {1, 2, 7,
+//!   available parallelism};
+//! * the six mini-C workloads at scale 1 **and** scale 2, both the
+//!   zero-copy offline path and the sink-driven online path;
+//! * the batch API: two runs over the same job list render byte-identical
+//!   reports (no merge-order nondeterminism leaks from thread scheduling).
+
+use foray::{analyze, analyze_sharded, Analysis, BatchJob, ForayGen, ShardedAnalyzer};
+use foray_workloads::{all, Params};
+use minic::CheckpointKind::{BodyBegin, BodyEnd, LoopBegin};
+use minic_trace::{AccessKind, Record, TraceSink};
+use proptest::prelude::*;
+
+/// Shard counts the equivalence must hold for: degenerate, small, prime,
+/// and whatever the host machine auto-detects.
+fn shard_counts() -> Vec<usize> {
+    let auto = foray::resolve_shards(0);
+    let mut ks = vec![1, 2, 7];
+    if !ks.contains(&auto) {
+        ks.push(auto);
+    }
+    ks
+}
+
+/// Field-by-field equivalence with readable failure messages, then the
+/// full structural equality as a backstop.
+fn assert_equivalent(seq: &Analysis, sharded: &Analysis, ctx: &str) {
+    assert_eq!(seq.accesses(), sharded.accesses(), "{ctx}: access counts differ");
+    assert_eq!(seq.refs().len(), sharded.refs().len(), "{ctx}: reference counts differ");
+    for (i, (a, b)) in seq.refs().iter().zip(sharded.refs()).enumerate() {
+        assert_eq!(a.instr, b.instr, "{ctx}: ref {i} out of order (instruction)");
+        assert_eq!(a.node, b.node, "{ctx}: ref {i} attached to a different node");
+        assert_eq!(a.class, b.class, "{ctx}: ref {i} classified differently");
+        assert_eq!(
+            a.state.coefficients(),
+            b.state.coefficients(),
+            "{ctx}: ref {i} ({}) coefficients differ",
+            a.instr
+        );
+        assert_eq!(a.state.constant(), b.state.constant(), "{ctx}: ref {i} constant differs");
+        assert_eq!(a.state.window(), b.state.window(), "{ctx}: ref {i} window differs");
+        assert_eq!(a.state.footprint(), b.state.footprint(), "{ctx}: ref {i} footprint differs");
+        assert_eq!(
+            (a.reads, a.writes),
+            (b.reads, b.writes),
+            "{ctx}: ref {i} access counters differ"
+        );
+        assert_eq!(a.state, b.state, "{ctx}: ref {i} affine state differs");
+    }
+    assert_eq!(
+        seq.tree().render(),
+        sharded.tree().render(),
+        "{ctx}: reconstructed loop trees differ"
+    );
+    assert_eq!(seq, sharded, "{ctx}: analyses differ structurally");
+}
+
+// ---------- random record streams ----------
+
+/// Arbitrary records with instruction addresses drawn from a small pool,
+/// so references accumulate real multi-access affine state instead of
+/// degenerating into single-observation entries.
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (0u32..8, 0usize..3).prop_map(|(l, k)| {
+            let kind = [LoopBegin, BodyBegin, BodyEnd][k];
+            Record::checkpoint(l, kind)
+        }),
+        (0u32..12, any::<u32>(), any::<bool>()).prop_map(|(site, a, w)| {
+            Record::access(
+                0x40_0000 + 4 * site,
+                a,
+                if w { AccessKind::Write } else { AccessKind::Read },
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_streams_analyze_identically_under_any_sharding(
+        records in proptest::collection::vec(arb_record(), 0..300),
+    ) {
+        let seq = analyze(&records);
+        for k in shard_counts() {
+            let sharded = analyze_sharded(&records, k);
+            prop_assert_eq!(&sharded, &seq, "K={}", k);
+        }
+    }
+
+    #[test]
+    fn sink_and_slice_modes_agree_on_random_streams(
+        records in proptest::collection::vec(arb_record(), 0..300),
+        k in 1usize..9,
+    ) {
+        let slice_mode = analyze_sharded(&records, k);
+        let mut sink_mode = ShardedAnalyzer::with_config(foray::AnalyzerConfig {
+            shards: k,
+            ..foray::AnalyzerConfig::default()
+        });
+        for r in &records {
+            sink_mode.record(r);
+        }
+        prop_assert_eq!(sink_mode.into_analysis(), slice_mode);
+    }
+}
+
+// ---------- the six workloads, scale 1 and 2 ----------
+
+#[test]
+fn workloads_analyze_identically_under_sharding_at_scale_1_and_2() {
+    for scale in [1u32, 2] {
+        for w in all(Params { scale }) {
+            let prog = w.frontend().unwrap();
+            let (_, records) =
+                minic_sim::run(&prog, &minic_sim::SimConfig::default(), &w.inputs).unwrap();
+            let seq = analyze(&records);
+            for k in shard_counts() {
+                let sharded = analyze_sharded(&records, k);
+                assert_equivalent(&seq, &sharded, &format!("{} scale={scale} K={k}", w.name));
+            }
+            // Online sink routing must agree too (one representative K).
+            let mut online = ShardedAnalyzer::with_config(foray::AnalyzerConfig {
+                shards: 4,
+                ..foray::AnalyzerConfig::default()
+            });
+            online.consume(&records);
+            assert_equivalent(
+                &seq,
+                &online.into_analysis(),
+                &format!("{} scale={scale} online K=4", w.name),
+            );
+        }
+    }
+}
+
+// ---------- batch determinism ----------
+
+/// Renders one batch result as the textual report a consumer would emit.
+fn render_batch(results: &[Result<foray::ForayGenOutput, foray::PipelineError>]) -> String {
+    let mut out = String::new();
+    for r in results {
+        let o = r.as_ref().expect("workload runs");
+        out.push_str(&o.code);
+        out.push_str(&o.analysis.tree().render());
+        out.push_str(&format!(
+            "accesses={} refs={} model_refs={}\n",
+            o.analysis.accesses(),
+            o.analysis.refs().len(),
+            o.model.ref_count()
+        ));
+    }
+    out
+}
+
+#[test]
+fn sharded_batch_report_is_byte_identical_across_runs() {
+    let jobs: Vec<BatchJob> =
+        all(Params::default()).iter().map(|w| w.batch_job(ForayGen::new().sharded(true))).collect();
+    let first = render_batch(&foray::analyze_batch(&jobs, 0));
+    let second = render_batch(&foray::analyze_batch(&jobs, 0));
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "thread scheduling leaked into the batch report");
+}

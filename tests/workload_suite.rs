@@ -102,6 +102,79 @@ fn phase_two_finds_buffers_in_reuse_heavy_workloads() {
 }
 
 #[test]
+fn scale_two_recovers_the_scale_one_coefficients() {
+    // `Params::scale` grows trip counts and data sizes but not the access
+    // *pattern*: every model reference keeps the same participating
+    // iterator levels, its element stride (innermost coefficient) is
+    // scale-invariant, and outer coefficients are either invariant
+    // (fixed-size inner dimensions, e.g. 8x8 DCT blocks) or multiply by
+    // exactly the scale (strides that span a scaled array dimension, e.g.
+    // jpegc's row stride). Instruction addresses are structural (site
+    // indices), so references match across scales by (instruction, node).
+    use std::collections::HashMap;
+    const SCALE: i64 = 2;
+    let small = all(Params { scale: 1 });
+    let big = all(Params { scale: SCALE as u32 });
+    for (w1, w2) in small.into_iter().zip(big) {
+        assert_eq!(w1.name, w2.name);
+        let out1 = w1.run().unwrap_or_else(|e| panic!("{} scale 1 failed: {e}", w1.name));
+        let out2 = w2.run().unwrap_or_else(|e| panic!("{} scale 2 failed: {e}", w2.name));
+        // Trip counts are *not* scale-invariant: the workload really grew.
+        assert!(
+            out2.sim.accesses > out1.sim.accesses,
+            "{}: scale 2 must access more memory ({} vs {})",
+            w1.name,
+            out2.sim.accesses,
+            out1.sim.accesses
+        );
+        let by_key: HashMap<_, _> =
+            out2.model.refs.iter().map(|r| ((r.instr, r.node), r)).collect();
+        for r1 in &out1.model.refs {
+            let r2 = by_key.get(&(r1.instr, r1.node)).unwrap_or_else(|| {
+                panic!("{}: {} vanished from the scale-2 model", w1.name, r1.array_name())
+            });
+            let t1: Vec<(u32, i64)> = r1.terms.iter().map(|t| (t.level, t.coeff)).collect();
+            let t2: HashMap<u32, i64> = r2.terms.iter().map(|t| (t.level, t.coeff)).collect();
+            assert_eq!(
+                t1.len(),
+                t2.len(),
+                "{}: {} changed its set of iterator terms",
+                w1.name,
+                r1.array_name()
+            );
+            for (level, c1) in t1 {
+                let c2 = *t2.get(&level).unwrap_or_else(|| {
+                    panic!("{}: {} lost level-{level} term", w1.name, r1.array_name())
+                });
+                if level == 1 {
+                    assert_eq!(
+                        c1,
+                        c2,
+                        "{}: {} element stride changed with scale",
+                        w1.name,
+                        r1.array_name()
+                    );
+                } else {
+                    assert!(
+                        c2 == c1 || c2 == SCALE * c1,
+                        "{}: {} level-{level} coefficient {c1} became {c2} \
+                         (neither invariant nor scaled)",
+                        w1.name,
+                        r1.array_name()
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            out1.model.ref_count(),
+            out2.model.ref_count(),
+            "{}: scaling changed the number of model references",
+            w1.name
+        );
+    }
+}
+
+#[test]
 fn online_mode_is_constant_space_compatible() {
     // The online analyzer never materializes the trace; verify the
     // pipeline's access totals match an explicit offline trace pass.
