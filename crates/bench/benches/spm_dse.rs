@@ -1,9 +1,12 @@
 //! Phase II design-space exploration cost: exact multiple-choice knapsack
-//! vs the greedy heuristic, on real workload models and on synthetic
-//! candidate sets of growing size.
+//! vs the greedy heuristic, the cached capacity plan vs per-capacity
+//! re-solves, and the full parallel `SpmDesignSpace::explore` path on the
+//! corpus.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use foray_spm::{enumerate, select_exact, select_greedy, BufferCandidate, EnergyModel};
+use foray_spm::{
+    enumerate, select_exact, select_greedy, BufferCandidate, CapacityPlan, EnergyModel,
+};
 use foray_workloads::{by_name, Params};
 use std::hint::black_box;
 
@@ -62,5 +65,57 @@ fn bench_workload_dse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_selection, bench_workload_dse);
+fn bench_capacity_plan(c: &mut Criterion) {
+    // The DSE capacity axis: one cached DP + per-capacity backtracks vs the
+    // old per-capacity re-solve.
+    let energy = EnergyModel::default();
+    let cands = synth_candidates(256);
+    let caps: Vec<u32> = (0..16).map(|i| 1024 + 1024 * i).collect();
+    let mut group = c.benchmark_group("spm_capacity_plan");
+    group.sample_size(20);
+    group.bench_function("resolve_per_capacity_16", |b| {
+        b.iter(|| {
+            for &cap in &caps {
+                black_box(select_exact(black_box(&cands), &energy, cap));
+            }
+        });
+    });
+    group.bench_function("cached_plan_16", |b| {
+        b.iter(|| {
+            let plan = CapacityPlan::build(black_box(&cands), &energy, *caps.last().unwrap());
+            for &cap in &caps {
+                black_box(plan.select(cap));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_corpus_explore(c: &mut Criterion) {
+    // The full parallel path: profile + enumerate + plan + sweep over
+    // capacities x presets x the six workloads, sequential vs pooled.
+    let mut group = c.benchmark_group("spm_dse_explore");
+    group.sample_size(10);
+    for jobs in [1usize, 0] {
+        let label = if jobs == 0 { "jobs_auto" } else { "jobs_1" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    foray_bench::dse_space(Params::default())
+                        .explore(black_box(jobs))
+                        .expect("corpus explores"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_workload_dse,
+    bench_capacity_plan,
+    bench_corpus_explore
+);
 criterion_main!(benches);

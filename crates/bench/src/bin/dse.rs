@@ -1,0 +1,63 @@
+//! Phase II design-space exploration over the whole workload corpus:
+//! capacities × energy presets × the six workloads, in parallel, with
+//! Pareto-front reporting.
+//!
+//! ```text
+//! cargo run --release -p foray-bench --bin dse [scale] [--jobs N] [--json PATH]
+//! ```
+
+use foray_workloads::Params;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dse [scale] [--jobs N] [--json PATH]";
+
+fn main() -> ExitCode {
+    let mut scale: u32 = 1;
+    let mut jobs: usize = 0;
+    let mut json: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--jobs needs a number\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
+            }
+            "--json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--json needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                json = Some(path);
+            }
+            other => {
+                let Ok(n) = other.parse::<u32>() else {
+                    eprintln!("unknown argument `{other}`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                scale = n.max(1);
+            }
+        }
+    }
+    let result = match foray_bench::dse_space(Params { scale }).explore(jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dse failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", result.render_text());
+    if let Err(e) = result.check() {
+        eprintln!("invariant violated: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, result.to_json()) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -13,7 +13,10 @@
 //! * `... --bin figures` — Figs. 2, 4, 7, 9 as runnable demonstrations;
 //! * `... --bin sensitivity` — the paper's future-work experiment (model
 //!   stability across input sets);
-//! * `... --bin filter_sweep` — ablation of the Step 4 thresholds.
+//! * `... --bin filter_sweep` — ablation of the Step 4 thresholds;
+//! * `... --bin dse` — the Phase II design-space exploration over the
+//!   whole corpus, with Pareto-front reporting (`--json PATH` for the
+//!   machine-readable artifact).
 //!
 //! Criterion micro-benchmarks live under `benches/` (analyzer throughput
 //! and linearity, nest-depth scaling, lookup-strategy ablation, online vs
@@ -100,41 +103,20 @@ pub fn run_suite_with(params: Params, workers: usize) -> Vec<BenchRun> {
         .collect()
 }
 
-/// Renders an aligned text table.
+/// The corpus design space: all six workloads at `params`, every energy
+/// preset, and a standard SPM capacity grid — what the `dse` bin, the
+/// `spm_dse` bench, and CI's `dse-smoke` job explore.
+pub fn dse_space(params: Params) -> foray_spm::SpmDesignSpace {
+    foray_spm::SpmDesignSpace::new()
+        .capacities(&[256, 512, 1024, 2048, 4096, 8192])
+        .preset_models()
+        .workloads(all(params).iter().map(|w| w.batch_job(ForayGen::new())))
+}
+
+/// Renders an aligned text table (the suite-wide style; see
+/// [`foray::report::render_table`]).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let mut out = String::new();
-    let line = |out: &mut String, cells: &[String]| {
-        for (i, cell) in cells.iter().enumerate() {
-            if i > 0 {
-                out.push_str("  ");
-            }
-            let pad = widths[i].saturating_sub(cell.len());
-            if i == 0 {
-                out.push_str(cell);
-                out.push_str(&" ".repeat(pad));
-            } else {
-                out.push_str(&" ".repeat(pad));
-                out.push_str(cell);
-            }
-        }
-        out.push('\n');
-    };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
-    out.push_str(&"-".repeat(total));
-    out.push('\n');
-    for row in rows {
-        line(&mut out, row);
-    }
-    out
+    foray::report::render_table(headers, rows)
 }
 
 /// Formats a percentage like the paper's tables (integer percent).

@@ -12,6 +12,9 @@
 //!     print the checkpoint-instrumented source (Fig. 4(b))
 //! foray-gen spm <prog.mc> [--capacity BYTES]
 //!     Phase II: buffer candidates, selection, transformed model
+//! foray-gen dse [--workloads all|a,b] [--capacities LIST] [--models LIST]
+//!     parallel SPM design-space exploration over the workload corpus,
+//!     with Pareto-front reporting (text and --json)
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime error.
@@ -50,10 +53,22 @@ const USAGE: &str = "usage:
   foray-gen trace    <prog.mc> [--format text|binary] [-o FILE] [--inputs v,v,..]
   foray-gen annotate <prog.mc>
   foray-gen spm      <prog.mc> [--capacity BYTES] [--nexec N] [--nloc N] [--inputs v,v,..]
+  foray-gen dse      [--workloads all|a,b,..] [--capacities n,n,..] [--models m,m,..]
+                     [--jobs N] [--scale N] [--json PATH] [--check]
 
 analysis flags (model/report/spm):
   --sharded   analyze the trace on K parallel shard workers (identical output)
-  --jobs N    shard/worker count for --sharded (default: available parallelism)";
+  --jobs N    shard/worker count for --sharded (default: available parallelism)
+
+dse flags:
+  --workloads  corpus subset by name, or `all` (default: all)
+  --capacities SPM capacity grid in bytes (default: 256,512,1024,2048,4096,8192)
+  --models     energy-model presets (default,small-spm,medium-spm,large-spm) or
+               a user-supplied point as custom:MAIN_NJ:SPM_NJ:BASE_BYTES:SLOPE
+  --jobs N     pool worker count (default: available parallelism)
+  --scale N    workload size multiplier (default: 1)
+  --json PATH  also write the machine-readable foray-dse/v1 report
+  --check      fail (exit 3) unless every Pareto front is non-empty and monotone";
 
 #[derive(Debug)]
 enum CliError {
@@ -168,6 +183,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
         return Err(CliError::Usage("missing command".to_owned()));
     };
+    if cmd == "dse" {
+        // Corpus-driven: no program file argument, own flag set.
+        return cmd_dse(&parse_dse_options(&args[1..])?);
+    }
     let opts = parse_options(&args[1..])?;
     let src = read_source(&opts.file)?;
     match cmd.as_str() {
@@ -317,6 +336,125 @@ fn cmd_spm(src: &str, opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+struct DseOptions {
+    workloads: Vec<String>,
+    capacities: Vec<u32>,
+    models: Vec<String>,
+    jobs: usize,
+    scale: u32,
+    json: Option<String>,
+    check: bool,
+}
+
+fn parse_dse_options(args: &[String]) -> Result<DseOptions, CliError> {
+    let mut opts = DseOptions {
+        workloads: vec!["all".to_owned()],
+        capacities: vec![256, 512, 1024, 2048, 4096, 8192],
+        models: foray_spm::energy::PRESET_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+        jobs: 0,
+        scale: 1,
+        json: None,
+        check: false,
+    };
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    let list = |s: &str| -> Vec<String> {
+        s.split(',').map(str::trim).filter(|p| !p.is_empty()).map(str::to_owned).collect()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workloads" => opts.workloads = list(&need(&mut it, "--workloads")?),
+            "--models" => opts.models = list(&need(&mut it, "--models")?),
+            "--capacities" => {
+                opts.capacities = list(&need(&mut it, "--capacities")?)
+                    .iter()
+                    .map(|s| parse_num(s).map(|n| n as u32))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--jobs" => opts.jobs = parse_num(&need(&mut it, "--jobs")?)? as usize,
+            "--scale" => opts.scale = parse_num(&need(&mut it, "--scale")?)?.max(1) as u32,
+            "--json" => opts.json = Some(need(&mut it, "--json")?),
+            "--check" => opts.check = true,
+            other => return Err(CliError::Usage(format!("unknown dse argument `{other}`"))),
+        }
+    }
+    if opts.capacities.is_empty() {
+        return Err(CliError::Usage("--capacities needs at least one value".to_owned()));
+    }
+    if opts.workloads.is_empty() {
+        return Err(CliError::Usage("--workloads needs at least one name".to_owned()));
+    }
+    if opts.models.is_empty() {
+        return Err(CliError::Usage("--models needs at least one name".to_owned()));
+    }
+    Ok(opts)
+}
+
+/// Resolves a `--models` entry: a preset name, or a user-supplied point as
+/// `custom:MAIN_NJ:SPM_NJ:BASE_BYTES:SLOPE` (named `custom`).
+fn parse_energy_model(spec: &str) -> Result<(String, foray_spm::EnergyModel), CliError> {
+    if let Some(params) = spec.strip_prefix("custom:") {
+        let parts: Vec<&str> = params.split(':').collect();
+        let [main, spm, bytes, slope] = parts.as_slice() else {
+            return Err(CliError::Usage(format!(
+                "bad custom model `{spec}` (want custom:MAIN_NJ:SPM_NJ:BASE_BYTES:SLOPE)"
+            )));
+        };
+        let f = |s: &str| {
+            s.parse::<f64>().map_err(|_| CliError::Usage(format!("bad number `{s}` in `{spec}`")))
+        };
+        return Ok((
+            "custom".to_owned(),
+            foray_spm::EnergyModel {
+                main_access_nj: f(main)?,
+                spm_base_nj: f(spm)?,
+                spm_base_bytes: parse_num(bytes)? as u32,
+                spm_size_slope: f(slope)?,
+            },
+        ));
+    }
+    match foray_spm::EnergyModel::preset(spec) {
+        Some(m) => Ok((spec.to_owned(), m)),
+        None => Err(CliError::Usage(format!(
+            "unknown energy model `{spec}` (presets: {})",
+            foray_spm::energy::PRESET_NAMES.join(", ")
+        ))),
+    }
+}
+
+fn cmd_dse(opts: &DseOptions) -> Result<(), CliError> {
+    let params = foray_workloads::Params { scale: opts.scale };
+    let workloads: Vec<foray_workloads::Workload> = if opts.workloads.iter().any(|w| w == "all") {
+        foray_workloads::all(params)
+    } else {
+        opts.workloads
+            .iter()
+            .map(|name| {
+                foray_workloads::by_name(name, params)
+                    .ok_or_else(|| CliError::Usage(format!("unknown workload `{name}`")))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let mut space = foray_spm::SpmDesignSpace::new()
+        .capacities(&opts.capacities)
+        .workloads(workloads.iter().map(|w| w.batch_job(ForayGen::new())));
+    for spec in &opts.models {
+        let (name, model) = parse_energy_model(spec)?;
+        space = space.model(name, model);
+    }
+    let result = space.explore(opts.jobs).map_err(|e| CliError::Runtime(e.to_string()))?;
+    print!("{}", result.render_text());
+    if let Some(path) = &opts.json {
+        std::fs::write(path, result.to_json())?;
+    }
+    if opts.check {
+        result.check().map_err(CliError::Runtime)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +561,84 @@ mod tests {
     fn annotate_command_runs() {
         let path = write_temp("annotate", PROG);
         assert!(run(&["annotate".to_owned(), path]).is_ok());
+    }
+
+    #[test]
+    fn dse_options_parse_with_defaults_and_overrides() {
+        let defaults = parse_dse_options(&[]).unwrap();
+        assert_eq!(defaults.workloads, vec!["all"]);
+        assert_eq!(defaults.capacities, vec![256, 512, 1024, 2048, 4096, 8192]);
+        assert_eq!(defaults.models.len(), foray_spm::energy::PRESET_NAMES.len());
+        assert_eq!(defaults.jobs, 0);
+        assert!(!defaults.check);
+        let args: Vec<String> = [
+            "--workloads",
+            "fftc,adpcmc",
+            "--capacities",
+            "512,256",
+            "--models",
+            "small-spm",
+            "--jobs",
+            "3",
+            "--check",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_dse_options(&args).unwrap();
+        assert_eq!(opts.workloads, vec!["fftc", "adpcmc"]);
+        assert_eq!(opts.capacities, vec![512, 256]);
+        assert_eq!(opts.models, vec!["small-spm"]);
+        assert_eq!(opts.jobs, 3);
+        assert!(opts.check);
+        assert!(matches!(
+            parse_dse_options(&["--capacities".to_owned(), "abc".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+        // dse takes no file argument.
+        assert!(matches!(parse_dse_options(&["x.mc".to_owned()]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn energy_model_specs_resolve() {
+        for name in foray_spm::energy::PRESET_NAMES {
+            let (n, m) = parse_energy_model(name).unwrap();
+            assert_eq!(&n, name);
+            assert_eq!(m, foray_spm::EnergyModel::preset(name).unwrap());
+        }
+        let (n, m) = parse_energy_model("custom:3.0:0.2:512:0.15").unwrap();
+        assert_eq!(n, "custom");
+        assert_eq!(m.main_access_nj, 3.0);
+        assert_eq!(m.spm_base_bytes, 512);
+        assert!(matches!(parse_energy_model("nope"), Err(CliError::Usage(_))));
+        assert!(matches!(parse_energy_model("custom:1:2"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn dse_command_runs_and_writes_json() {
+        let json = std::env::temp_dir().join("foray_cli_test_dse.json");
+        let json_s = json.to_string_lossy().into_owned();
+        let args: Vec<String> = [
+            "dse",
+            "--workloads",
+            "adpcmc",
+            "--capacities",
+            "256,1024",
+            "--models",
+            "small-spm,large-spm",
+            "--jobs",
+            "2",
+            "--json",
+            &json_s,
+            "--check",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&args).is_ok());
+        let written = std::fs::read_to_string(&json).unwrap();
+        assert!(written.contains("\"schema\": \"foray-dse/v1\""));
+        assert!(run(&["dse".to_owned(), "--workloads".to_owned(), "nope".to_owned()])
+            .is_err_and(|e| matches!(e, CliError::Usage(_))));
     }
 }

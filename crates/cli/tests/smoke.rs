@@ -105,6 +105,43 @@ fn executable_model_reprofiles_to_the_same_coefficients() {
 }
 
 #[test]
+fn dse_report_is_deterministic_in_the_job_count() {
+    // The acceptance bar for the DSE engine: the Pareto report and the JSON
+    // artifact must be byte-identical for --jobs 1 and --jobs 4, and the
+    // --check invariants (non-empty monotone fronts) must hold.
+    let json1 = std::env::temp_dir().join("foray_cli_smoke_dse_jobs1.json");
+    let json4 = std::env::temp_dir().join("foray_cli_smoke_dse_jobs4.json");
+    let run = |jobs: &str, json: &std::path::Path| {
+        foray_gen(&[
+            "dse",
+            "--workloads",
+            "fftc,adpcmc",
+            "--capacities",
+            "256,1024,4096",
+            "--models",
+            "small-spm,large-spm",
+            "--jobs",
+            jobs,
+            "--json",
+            json.to_str().unwrap(),
+            "--check",
+        ])
+    };
+    let seq = run("1", &json1);
+    let par = run("4", &json4);
+    assert!(seq.status.success(), "stderr: {}", String::from_utf8_lossy(&seq.stderr));
+    assert!(par.status.success(), "stderr: {}", String::from_utf8_lossy(&par.stderr));
+    assert_eq!(seq.stdout, par.stdout, "job count leaked into the text report");
+    let j1 = std::fs::read_to_string(&json1).unwrap();
+    let j4 = std::fs::read_to_string(&json4).unwrap();
+    assert_eq!(j1, j4, "job count leaked into the JSON artifact");
+    assert!(j1.contains("\"schema\": \"foray-dse/v1\""));
+    assert!(j1.contains("\"pareto\": true"));
+    let stdout = String::from_utf8(seq.stdout).unwrap();
+    assert!(stdout.contains("Pareto front"), "missing ranked front:\n{stdout}");
+}
+
+#[test]
 fn usage_and_compile_errors_map_to_distinct_exit_codes() {
     let usage = foray_gen(&["model"]);
     assert_eq!(usage.status.code(), Some(1), "missing file is a usage error");

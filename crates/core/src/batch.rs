@@ -39,6 +39,59 @@ impl BatchJob {
     }
 }
 
+/// Applies `f` to every item across `workers` threads (`0` = auto-detect,
+/// see [`resolve_shards`]), returning one result per item **in item
+/// order** regardless of which worker finished first.
+///
+/// This is the shared pool under [`analyze_batch`] and
+/// `foray_spm`'s design-space exploration: items are pulled from an atomic
+/// cursor by scoped workers, so any `Fn(index, &item)` fan-out inherits the
+/// same determinism guarantee. `f` receives the item's index alongside the
+/// item so callers can label work without capturing extra state.
+///
+/// # Examples
+///
+/// ```
+/// let squares = foray::map_ordered(&[1u32, 2, 3, 4], 2, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn map_ordered<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = resolve_shards(workers).min(items.len());
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, f(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every item produces exactly one result")).collect()
+}
+
 /// Runs every job across `workers` threads (`0` = auto-detect, see
 /// [`resolve_shards`]), returning one result per job **in job order**.
 ///
@@ -59,32 +112,7 @@ pub fn analyze_batch(
     jobs: &[BatchJob],
     workers: usize,
 ) -> Vec<Result<ForayGenOutput, PipelineError>> {
-    if jobs.is_empty() {
-        return Vec::new();
-    }
-    let workers = resolve_shards(workers).min(jobs.len());
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<Result<ForayGenOutput, PipelineError>>> =
-        (0..jobs.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel();
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                if tx.send((i, job.pipeline.run_source(&job.source))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, result) in rx {
-            slots[i] = Some(result);
-        }
-    });
-    slots.into_iter().map(|s| s.expect("every job produces exactly one result")).collect()
+    map_ordered(jobs, workers, |_, job| job.pipeline.run_source(&job.source))
 }
 
 #[cfg(test)]
@@ -128,6 +156,23 @@ mod tests {
         let results = analyze_batch(&js, 16);
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn map_ordered_is_deterministic_and_ordered() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1usize, 2, 5, 0] {
+            assert_eq!(map_ordered(&items, workers, |_, &x| x * 3 + 1), expected);
+        }
+        assert!(map_ordered(&[] as &[u64], 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn map_ordered_passes_the_item_index() {
+        let items = ["a", "b", "c"];
+        let got = map_ordered(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use affine::AffineState;
 pub use analyzer::{
     analyze, analyze_with, Analysis, Analyzer, AnalyzerConfig, LookupStrategy, RefClass, RefRecord,
 };
-pub use batch::{analyze_batch, BatchJob};
+pub use batch::{analyze_batch, map_ordered, BatchJob};
 pub use hints::InlineHint;
 pub use looptree::{LoopTree, NodeId, ROOT};
 pub use model::{AffineTerm, FilterConfig, ForayModel, ModelDiff, ModelLoop, ModelRef};

@@ -231,6 +231,48 @@ impl CaptureComparison {
     }
 }
 
+/// Renders an aligned text table: header row, dashed separator, then data
+/// rows — first column left-aligned, the rest right-aligned.
+///
+/// The one table style of the whole suite: `foray-bench`'s paper tables
+/// and `foray_spm`'s design-space-exploration reports both render through
+/// it.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(cell.len());
+            if i == 0 {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,13 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod candidate;
+pub mod dse;
 pub mod energy;
 pub mod explore;
 pub mod transform;
 
 pub use candidate::{candidates_for, enumerate, BufferCandidate};
+pub use dse::{DsePoint, DseResult, DseStats, SpmDesignSpace};
 pub use energy::EnergyModel;
-pub use explore::{select_exact, select_greedy, sweep, Selection};
+pub use explore::{select_exact, select_greedy, sweep, CapacityPlan, Selection};
 pub use transform::emit_buffered;
 
 use foray::ForayModel;

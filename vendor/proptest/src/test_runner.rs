@@ -1,5 +1,5 @@
 //! Test-case execution: configuration, the deterministic RNG, and the
-//! runner that drives a [`Strategy`](crate::Strategy) through many cases.
+//! runner that drives a [`Strategy`] through many cases.
 
 use crate::strategy::Strategy;
 
