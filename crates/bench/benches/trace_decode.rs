@@ -1,0 +1,123 @@
+//! Trace-layer throughput: the zero-copy decoder and the file-backed
+//! analysis path.
+//!
+//! The acceptance bar for the streaming decoder is ≥2x over materializing
+//! (`from_bytes` + iterate) on a 1M-record stream — the difference is one
+//! `Vec<Record>` the size of the trace that the zero-copy path never
+//! writes. The file group compares in-RAM analysis against the full
+//! `foray-trace/v1` open-and-replay, which is the cost a `trace analyze`
+//! run pays over `model`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use minic::CheckpointKind::{BodyBegin, BodyEnd, LoopBegin};
+use minic_trace::binary::RecordReader;
+use minic_trace::{binary, file, AccessKind, Record, TraceFile};
+use std::hint::black_box;
+
+/// Two-level affine nest touching 8 distinct references per body;
+/// `outer * 64 * 8` accesses plus checkpoints.
+fn synth_trace(outer: u32) -> Vec<Record> {
+    let mut t = Vec::new();
+    t.push(Record::checkpoint(0, LoopBegin));
+    for j in 0..outer {
+        t.push(Record::checkpoint(0, BodyBegin));
+        t.push(Record::checkpoint(1, LoopBegin));
+        for i in 0..64u32 {
+            t.push(Record::checkpoint(1, BodyBegin));
+            for r in 0..8u32 {
+                let instr = 0x40_0000 + 8 * r;
+                t.push(Record::access(
+                    instr,
+                    0x1000_0000 + (r << 20) + 4 * i + 256 * j,
+                    AccessKind::Read,
+                ));
+            }
+            t.push(Record::checkpoint(1, BodyEnd));
+        }
+        t.push(Record::checkpoint(0, BodyEnd));
+    }
+    t
+}
+
+/// ~1M-record trace for the decode benchmarks.
+fn million_records() -> Vec<Record> {
+    // outer=1500 → 1500 * (64 * 9 + 3) + 1 ≈ 868k records; outer=1730 ≈ 1M.
+    synth_trace(1730)
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let records = million_records();
+    let bytes = binary::to_bytes(&records);
+    let mut group = c.benchmark_group("trace_decode_1m");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+
+    // Zero-copy: decode in place, no intermediate Vec<Record>.
+    group.bench_function("record_reader", |b| {
+        b.iter(|| {
+            let mut accesses = 0u64;
+            for rec in RecordReader::new(black_box(&bytes)) {
+                if matches!(rec.unwrap(), Record::Access(_)) {
+                    accesses += 1;
+                }
+            }
+            black_box(accesses)
+        });
+    });
+
+    // Materialize the whole Vec<Record>, then iterate it.
+    group.bench_function("from_bytes_then_iterate", |b| {
+        b.iter(|| {
+            let decoded = binary::from_bytes(black_box(&bytes)).unwrap();
+            let accesses = decoded.iter().filter(|r| matches!(r, Record::Access(_))).count() as u64;
+            black_box(accesses)
+        });
+    });
+
+    // The pre-refactor shape: generic io::Read decoding, one record at a
+    // time through read() calls.
+    group.bench_function("io_binary_reader", |b| {
+        b.iter(|| {
+            let mut accesses = 0u64;
+            for rec in binary::BinaryReader::new(black_box(bytes.as_slice())) {
+                if matches!(rec.unwrap(), Record::Access(_)) {
+                    accesses += 1;
+                }
+            }
+            black_box(accesses)
+        });
+    });
+    group.finish();
+}
+
+fn bench_file_vs_in_ram(c: &mut Criterion) {
+    let records = synth_trace(256);
+    let path = std::env::temp_dir().join("foray_bench_trace_decode.ftrace");
+    file::write_file(&path, &records).unwrap();
+    let mut group = c.benchmark_group("analyze_file_vs_in_ram");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+
+    group.bench_function("in_ram_slice", |b| {
+        b.iter(|| black_box(foray::analyze(black_box(&records)).accesses()));
+    });
+
+    // Open + replay per iteration: the whole cost of the file pipeline.
+    group.bench_function("file_open_and_analyze", |b| {
+        b.iter(|| {
+            let file = TraceFile::open(&path).unwrap();
+            black_box(foray::analyze_source(&file).unwrap().accesses())
+        });
+    });
+
+    // Replay-only: the file is already open (amortized multi-analysis).
+    let file = TraceFile::open(&path).unwrap();
+    group.bench_function("file_replay_only", |b| {
+        b.iter(|| black_box(foray::analyze_source(black_box(&file)).unwrap().accesses()));
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_decode, bench_file_vs_in_ram);
+criterion_main!(benches);

@@ -6,8 +6,14 @@
 //!     as a runnable mini-C program (re-profiling it is a fixpoint)
 //! foray-gen report <prog.mc> [...]
 //!     model + static comparison + memory-behaviour breakdown + hints
-//! foray-gen trace <prog.mc> [--format text|binary] [-o FILE]
+//! foray-gen trace <prog.mc> [--format text|binary|framed] [-o FILE]
 //!     profile and dump the raw trace (Fig. 4(c) format)
+//! foray-gen trace record (<prog.mc> | --workload NAME) -o FILE.ftrace
+//!     profile straight into a framed foray-trace/v1 file — the trace is
+//!     streamed block by block, never materialized in memory
+//! foray-gen trace analyze <FILE.ftrace> [--sharded] [--jobs N]
+//!     re-analyze a recorded trace file; prints the same FORAY model the
+//!     in-RAM `model` command prints, byte for byte
 //! foray-gen annotate <prog.mc>
 //!     print the checkpoint-instrumented source (Fig. 4(b))
 //! foray-gen spm <prog.mc> [--capacity BYTES]
@@ -19,7 +25,7 @@
 //!
 //! Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime error.
 
-use foray::{AnalyzerConfig, FilterConfig, ForayGen};
+use foray::{AnalyzerConfig, FilterConfig, ForayGen, ForayModel};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -50,13 +56,20 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   foray-gen model    <prog.mc> [--nexec N] [--nloc N] [--inputs v,v,..] [--executable]
   foray-gen report   <prog.mc> [--nexec N] [--nloc N] [--inputs v,v,..]
-  foray-gen trace    <prog.mc> [--format text|binary] [-o FILE] [--inputs v,v,..]
+  foray-gen trace    <prog.mc> [--format text|binary|framed] [-o FILE] [--inputs v,v,..]
+  foray-gen trace record  (<prog.mc> | --workload NAME [--scale N]) -o FILE.ftrace
+  foray-gen trace analyze <FILE.ftrace> [--nexec N] [--nloc N] [--sharded] [--jobs N]
   foray-gen annotate <prog.mc>
   foray-gen spm      <prog.mc> [--capacity BYTES] [--nexec N] [--nloc N] [--inputs v,v,..]
   foray-gen dse      [--workloads all|a,b,..] [--capacities n,n,..] [--models m,m,..]
                      [--jobs N] [--scale N] [--json PATH] [--check]
 
-analysis flags (model/report/spm):
+program sources (model/report/trace/spm):
+  <prog.mc>        a mini-C source file, or
+  --workload NAME  a built-in corpus workload (jpegc, lamec, susanc, fftc,
+                   gsmc, adpcmc) with its canonical inputs; --scale N sizes it
+
+analysis flags (model/report/spm/trace analyze):
   --sharded   analyze the trace on K parallel shard workers (identical output)
   --jobs N    shard/worker count for --sharded (default: available parallelism)
 
@@ -95,6 +108,8 @@ impl From<foray::PipelineError> for CliError {
 
 struct Options {
     file: String,
+    workload: Option<String>,
+    scale: u32,
     n_exec: u64,
     n_loc: u64,
     inputs: Vec<i64>,
@@ -109,6 +124,8 @@ struct Options {
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
     let mut opts = Options {
         file: String::new(),
+        workload: None,
+        scale: 1,
         n_exec: 20,
         n_loc: 10,
         inputs: Vec::new(),
@@ -132,6 +149,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--sharded" => opts.sharded = true,
             "--jobs" => opts.jobs = parse_num(&need(&mut it, "--jobs")?)? as usize,
             "--format" => opts.format = need(&mut it, "--format")?,
+            "--workload" => opts.workload = Some(need(&mut it, "--workload")?),
+            "--scale" => opts.scale = parse_num(&need(&mut it, "--scale")?)?.max(1) as u32,
             "-o" | "--output" => opts.output = Some(need(&mut it, "-o")?),
             "--inputs" => {
                 let list = need(&mut it, "--inputs")?;
@@ -157,10 +176,36 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
         }
     }
-    if opts.file.is_empty() {
-        return Err(CliError::Usage("missing program file".to_owned()));
-    }
     Ok(opts)
+}
+
+/// Resolves the program to run: a source file, or a `--workload` from the
+/// corpus (installing the workload's canonical inputs unless the user gave
+/// `--inputs`). Mutates `opts.inputs` so [`pipeline`] sees the result.
+fn resolve_source(opts: &mut Options) -> Result<String, CliError> {
+    match &opts.workload {
+        Some(name) => {
+            if !opts.file.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "give either a program file or --workload, not both (got `{}`)",
+                    opts.file
+                )));
+            }
+            let params = foray_workloads::Params { scale: opts.scale };
+            let w = foray_workloads::by_name(name, params)
+                .ok_or_else(|| CliError::Usage(format!("unknown workload `{name}`")))?;
+            if opts.inputs.is_empty() {
+                opts.inputs = w.inputs.clone();
+            }
+            Ok(w.source)
+        }
+        None => {
+            if opts.file.is_empty() {
+                return Err(CliError::Usage("missing program file (or --workload)".to_owned()));
+            }
+            read_source(&opts.file)
+        }
+    }
 }
 
 fn parse_num(s: &str) -> Result<u64, CliError> {
@@ -187,8 +232,21 @@ fn run(args: &[String]) -> Result<(), CliError> {
         // Corpus-driven: no program file argument, own flag set.
         return cmd_dse(&parse_dse_options(&args[1..])?);
     }
-    let opts = parse_options(&args[1..])?;
-    let src = read_source(&opts.file)?;
+    if cmd == "trace" {
+        // The file-pipeline sub-subcommands; bare `trace` keeps its legacy
+        // dump behaviour below.
+        match args.get(1).map(String::as_str) {
+            Some("record") => {
+                let mut opts = parse_options(&args[2..])?;
+                let src = resolve_source(&mut opts)?;
+                return cmd_trace_record(&src, &opts);
+            }
+            Some("analyze") => return cmd_trace_analyze(&parse_options(&args[2..])?),
+            _ => {}
+        }
+    }
+    let mut opts = parse_options(&args[1..])?;
+    let src = resolve_source(&mut opts)?;
     match cmd.as_str() {
         "model" => cmd_model(&src, &opts),
         "report" => cmd_report(&src, &opts),
@@ -222,12 +280,71 @@ fn cmd_trace(src: &str, opts: &Options) -> Result<(), CliError> {
     let bytes = match opts.format.as_str() {
         "text" => minic_trace::text::to_text(&records).into_bytes(),
         "binary" => minic_trace::binary::to_bytes(&records),
+        "framed" => {
+            let mut out = Vec::new();
+            minic_trace::file::write_to(&mut out, &records)?;
+            out
+        }
         other => return Err(CliError::Usage(format!("unknown trace format `{other}`"))),
     };
     match &opts.output {
         Some(path) => std::fs::write(path, bytes)?,
         None => std::io::stdout().write_all(&bytes)?,
     }
+    Ok(())
+}
+
+/// `trace record`: profile the program with a [`minic_trace::TraceWriter`]
+/// riding the simulation as the sink, so the `foray-trace/v1` file is
+/// written block by block without ever materializing the record stream.
+fn cmd_trace_record(src: &str, opts: &Options) -> Result<(), CliError> {
+    let Some(path) = &opts.output else {
+        return Err(CliError::Usage("trace record needs -o FILE.ftrace".to_owned()));
+    };
+    let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
+    let file = std::fs::File::create(path)?;
+    let mut writer = minic_trace::TraceWriter::new(std::io::BufWriter::new(file));
+    minic_sim::run_with_sink(&prog, &minic_sim::SimConfig::default(), &opts.inputs, &mut writer)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if let Some(e) = writer.io_error() {
+        return Err(CliError::Io(std::io::Error::new(e.kind(), e.to_string())));
+    }
+    let records = writer.records_written();
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("recorded {records} records to {path} ({bytes} bytes, foray-trace/v1)");
+    Ok(())
+}
+
+/// `trace analyze`: replay a recorded `foray-trace/v1` file through the
+/// (optionally sharded) analyzer and print the extracted FORAY model —
+/// byte-identical to what `model` prints for the same program and
+/// thresholds.
+///
+/// The file is streamed through [`minic_trace::TraceReader`] (one block in
+/// memory at a time), so traces bigger than RAM analyze fine — the
+/// sequential analyzer is constant-space, and the sharded sink buffers
+/// only its routed records.
+fn cmd_trace_analyze(opts: &Options) -> Result<(), CliError> {
+    if opts.workload.is_some() {
+        return Err(CliError::Usage("trace analyze reads a FILE.ftrace, not --workload".into()));
+    }
+    if opts.file.is_empty() {
+        return Err(CliError::Usage("trace analyze needs a FILE.ftrace argument".to_owned()));
+    }
+    let file = std::fs::File::open(&opts.file)
+        .map_err(|e| CliError::Usage(format!("cannot read `{}`: {e}", opts.file)))?;
+    let reader = minic_trace::TraceReader::new(std::io::BufReader::new(file))
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let config = AnalyzerConfig { shards: opts.jobs, ..AnalyzerConfig::default() };
+    let analysis = if opts.sharded {
+        foray::analyze_sharded_source(reader, config)
+    } else {
+        foray::analyze_source_with(reader, config)
+    }
+    .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let model =
+        ForayModel::extract(&analysis, &FilterConfig { n_exec: opts.n_exec, n_loc: opts.n_loc });
+    print!("{}", foray::codegen::emit(&model));
     Ok(())
 }
 
@@ -506,9 +623,96 @@ mod tests {
     }
 
     #[test]
+    fn trace_record_then_analyze_round_trips() {
+        let prog = write_temp("record", PROG);
+        let ftrace = std::env::temp_dir().join("foray_cli_test_record.ftrace");
+        let ftrace_s = ftrace.to_string_lossy().into_owned();
+        let record: Vec<String> = ["trace", "record", prog.as_str(), "-o", &ftrace_s]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&record).is_ok());
+        let file = minic_trace::TraceFile::open(&ftrace).unwrap();
+        assert!(file.record_count() > 0);
+        // The file-backed analysis equals the in-RAM pipeline, sharded or
+        // not (stdout capture is per-process, so compare models directly).
+        let in_ram = ForayGen::new().run_source(PROG).unwrap();
+        for sharded in [false, true] {
+            let config = AnalyzerConfig { shards: 2, ..AnalyzerConfig::default() };
+            let analysis = if sharded {
+                foray::analyze_sharded_source(&file, config).unwrap()
+            } else {
+                foray::analyze_source_with(&file, config).unwrap()
+            };
+            assert_eq!(analysis, in_ram.analysis, "sharded={sharded}");
+            let model = ForayModel::extract(&analysis, &FilterConfig::default());
+            assert_eq!(foray::codegen::emit(&model), in_ram.code, "sharded={sharded}");
+        }
+        let analyze: Vec<String> = ["trace", "analyze", ftrace_s.as_str(), "--sharded"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&analyze).is_ok());
+        std::fs::remove_file(&ftrace).ok();
+    }
+
+    #[test]
+    fn workload_source_resolves() {
+        let ftrace = std::env::temp_dir().join("foray_cli_test_workload.ftrace");
+        let ftrace_s = ftrace.to_string_lossy().into_owned();
+        let args: Vec<String> = ["trace", "record", "--workload", "adpcmc", "-o", &ftrace_s]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).is_ok());
+        assert!(minic_trace::TraceFile::open(&ftrace).unwrap().record_count() > 0);
+        std::fs::remove_file(&ftrace).ok();
+        // model also accepts --workload; unknown names are usage errors.
+        assert!(run(&["model".to_owned(), "--workload".to_owned(), "adpcmc".to_owned()]).is_ok());
+        assert!(matches!(
+            run(&["model".to_owned(), "--workload".to_owned(), "nope".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_subcommand_usage_errors() {
+        let prog = write_temp("record_noout", PROG);
+        // record without -o
+        assert!(matches!(
+            run(&["trace".to_owned(), "record".to_owned(), prog.clone()]),
+            Err(CliError::Usage(_))
+        ));
+        // analyze without a file / with --workload / on a non-trace file
+        assert!(matches!(
+            run(&["trace".to_owned(), "analyze".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "trace".to_owned(),
+                "analyze".to_owned(),
+                "--workload".to_owned(),
+                "fftc".to_owned()
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["trace".to_owned(), "analyze".to_owned(), prog]),
+            Err(CliError::Runtime(_))
+        ));
+        // file + --workload together is ambiguous
+        let prog2 = write_temp("ambiguous", PROG);
+        assert!(matches!(
+            run(&["model".to_owned(), prog2, "--workload".to_owned(), "fftc".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn trace_to_file_in_both_formats() {
         let path = write_temp("trace", PROG);
-        for fmt in ["text", "binary"] {
+        for fmt in ["text", "binary", "framed"] {
             let out = std::env::temp_dir().join(format!("foray_cli_trace.{fmt}"));
             let out_s = out.to_string_lossy().into_owned();
             let args: Vec<String> = ["trace", path.as_str(), "--format", fmt, "-o", &out_s]

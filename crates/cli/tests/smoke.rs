@@ -142,6 +142,32 @@ fn dse_report_is_deterministic_in_the_job_count() {
 }
 
 #[test]
+fn trace_file_pipeline_matches_the_in_ram_model() {
+    // The acceptance bar for the file-backed trace pipeline: record a
+    // workload trace to disk, re-analyze it from the file (sequentially and
+    // sharded), and require byte-identical model output to the in-RAM run.
+    let ftrace = std::env::temp_dir().join("foray_cli_smoke_fftc.ftrace");
+    let in_ram = foray_gen(&["model", "--workload", "fftc"]);
+    assert!(in_ram.status.success(), "stderr: {}", String::from_utf8_lossy(&in_ram.stderr));
+
+    let record =
+        foray_gen(&["trace", "record", "--workload", "fftc", "-o", ftrace.to_str().unwrap()]);
+    assert!(record.status.success(), "stderr: {}", String::from_utf8_lossy(&record.stderr));
+    let summary = String::from_utf8(record.stdout).unwrap();
+    assert!(summary.contains("foray-trace/v1"), "missing record summary:\n{summary}");
+
+    let from_file = foray_gen(&["trace", "analyze", ftrace.to_str().unwrap()]);
+    assert!(from_file.status.success(), "stderr: {}", String::from_utf8_lossy(&from_file.stderr));
+    assert_eq!(in_ram.stdout, from_file.stdout, "file-backed model must be byte-identical");
+
+    let sharded =
+        foray_gen(&["trace", "analyze", ftrace.to_str().unwrap(), "--sharded", "--jobs", "3"]);
+    assert!(sharded.status.success(), "stderr: {}", String::from_utf8_lossy(&sharded.stderr));
+    assert_eq!(in_ram.stdout, sharded.stdout, "sharded file-backed model must be byte-identical");
+    std::fs::remove_file(&ftrace).ok();
+}
+
+#[test]
 fn usage_and_compile_errors_map_to_distinct_exit_codes() {
     let usage = foray_gen(&["model"]);
     assert_eq!(usage.status.code(), Some(1), "missing file is a usage error");

@@ -9,7 +9,7 @@
 
 use crate::affine::AffineState;
 use crate::looptree::{LoopTree, NodeId};
-use minic_trace::{layout, Access, AccessKind, InstrAddr, Record, TraceSink};
+use minic_trace::{layout, Access, AccessKind, InstrAddr, Record, RecordSource, TraceSink};
 use std::collections::HashMap;
 
 /// How the analyzer finds the reference record for an incoming access.
@@ -282,6 +282,52 @@ pub fn analyze_with(records: &[Record], config: AnalyzerConfig) -> Analysis {
     let mut analyzer = Analyzer::with_config(config);
     analyzer.consume(records);
     analyzer.into_analysis()
+}
+
+/// Analyzes any [`RecordSource`] — a slice, a zero-copy byte decoder, or a
+/// trace file — producing the same result [`analyze`] gives on the
+/// equivalent record slice.
+///
+/// # Errors
+///
+/// Propagates the source's first decode/read failure.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minic_trace::ReadError> {
+/// use minic_trace::{file, AccessKind, Record};
+///
+/// let trace = vec![
+///     Record::checkpoint(0, minic::CheckpointKind::LoopBegin),
+///     Record::checkpoint(0, minic::CheckpointKind::BodyBegin),
+///     Record::access(0x400000, 0x1000_0000, AccessKind::Read),
+///     Record::checkpoint(0, minic::CheckpointKind::BodyEnd),
+/// ];
+/// let mut bytes = Vec::new();
+/// file::write_to(&mut bytes, &trace).unwrap();
+/// let file = file::TraceFile::from_bytes(bytes)?;
+/// let analysis = foray::analyze_source(&file)?;
+/// assert_eq!(analysis, foray::analyze(&trace));
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_source<Src: RecordSource>(source: Src) -> Result<Analysis, Src::Error> {
+    analyze_source_with(source, AnalyzerConfig::default())
+}
+
+/// [`analyze_source`] with an explicit configuration.
+///
+/// # Errors
+///
+/// Propagates the source's first decode/read failure.
+pub fn analyze_source_with<Src: RecordSource>(
+    source: Src,
+    config: AnalyzerConfig,
+) -> Result<Analysis, Src::Error> {
+    let mut analyzer = Analyzer::with_config(config);
+    source.stream_into(&mut analyzer)?;
+    Ok(analyzer.into_analysis())
 }
 
 #[cfg(test)]

@@ -8,8 +8,11 @@
 //! threads, and results are returned **in job order** regardless of which
 //! worker finished first, so batch output is deterministic.
 
+use crate::analyzer::{analyze_source_with, Analysis, AnalyzerConfig};
 use crate::pipeline::{ForayGen, ForayGenOutput, PipelineError};
 use crate::shard::resolve_shards;
+use minic_trace::{ReadError, TraceFile};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -113,6 +116,34 @@ pub fn analyze_batch(
     workers: usize,
 ) -> Vec<Result<ForayGenOutput, PipelineError>> {
     map_ordered(jobs, workers, |_, job| job.pipeline.run_source(&job.source))
+}
+
+/// Analyzes many pre-recorded `foray-trace/v1` files across `workers`
+/// threads (`0` = auto-detect), one result per path **in path order**.
+///
+/// This is the batch companion of [`crate::analyze_source`]: each file is
+/// opened with [`minic_trace::TraceFile::open`] and analyzed with a
+/// sequential analyzer under `config` (parallelism comes from the fan-out
+/// across files; set `config.shards` and use
+/// [`crate::shard::analyze_sharded_source`] instead to parallelize within
+/// one huge trace). Per-file failures stay in their slot.
+///
+/// # Examples
+///
+/// ```no_run
+/// let paths = ["a.ftrace", "b.ftrace"];
+/// let results = foray::analyze_trace_files(&paths, 0, &foray::AnalyzerConfig::default());
+/// assert_eq!(results.len(), 2);
+/// ```
+pub fn analyze_trace_files<P: AsRef<Path> + Sync>(
+    paths: &[P],
+    workers: usize,
+    config: &AnalyzerConfig,
+) -> Vec<Result<Analysis, ReadError>> {
+    map_ordered(paths, workers, |_, path| {
+        let file = TraceFile::open(path)?;
+        analyze_source_with(&file, config.clone())
+    })
 }
 
 #[cfg(test)]

@@ -67,12 +67,15 @@ pub mod srcmap;
 
 pub use affine::AffineState;
 pub use analyzer::{
-    analyze, analyze_with, Analysis, Analyzer, AnalyzerConfig, LookupStrategy, RefClass, RefRecord,
+    analyze, analyze_source, analyze_source_with, analyze_with, Analysis, Analyzer, AnalyzerConfig,
+    LookupStrategy, RefClass, RefRecord,
 };
-pub use batch::{analyze_batch, map_ordered, BatchJob};
+pub use batch::{analyze_batch, analyze_trace_files, map_ordered, BatchJob};
 pub use hints::InlineHint;
 pub use looptree::{LoopTree, NodeId, ROOT};
 pub use model::{AffineTerm, FilterConfig, ForayModel, ModelDiff, ModelLoop, ModelRef};
 pub use pipeline::{ForayGen, ForayGenOutput, PipelineError};
 pub use report::{CaptureComparison, LoopBreakdown, LoopKind, MemoryBehavior};
-pub use shard::{analyze_sharded, analyze_sharded_with, resolve_shards, ShardedAnalyzer};
+pub use shard::{
+    analyze_sharded, analyze_sharded_source, analyze_sharded_with, resolve_shards, ShardedAnalyzer,
+};

@@ -27,7 +27,7 @@
 
 use crate::analyzer::{Analysis, Analyzer, AnalyzerConfig, RefRecord};
 use crate::looptree::LoopTree;
-use minic_trace::{shard_of, Record, ShardBuffer, ShardingSink, TraceSink};
+use minic_trace::{shard_of, Record, RecordSource, ShardBuffer, ShardingSink, TraceSink};
 use std::sync::mpsc;
 
 /// Resolves a requested shard/worker count: `0` means auto-detect — the
@@ -257,6 +257,15 @@ impl TraceSink for ShardedAnalyzer {
 ///
 /// Unlike the sink-driven [`ShardedAnalyzer`], this path is zero-copy:
 /// every worker scans the shared slice and filters to its own accesses.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, Record};
+///
+/// let trace = vec![Record::access(0x400000, 0x1000_0000, AccessKind::Read)];
+/// assert_eq!(foray::analyze_sharded(&trace, 4), foray::analyze(&trace));
+/// ```
 pub fn analyze_sharded(records: &[Record], shards: usize) -> Analysis {
     analyze_sharded_with(records, AnalyzerConfig { shards, ..AnalyzerConfig::default() })
 }
@@ -266,6 +275,26 @@ pub fn analyze_sharded_with(records: &[Record], config: AnalyzerConfig) -> Analy
     let shards = resolve_shards(config.shards);
     let results = run_workers(shards, |shard| run_shard_slice(records, shard, shards, &config));
     merge(results)
+}
+
+/// Sharded analysis of any [`RecordSource`] (`config.shards == 0` = auto) —
+/// e.g. a `foray-trace/v1` file opened with
+/// [`minic_trace::TraceFile::open`]. The result is identical to
+/// [`crate::analyze`] on the equivalent record slice.
+///
+/// The source is routed once through a [`ShardingSink`] (single pass, so
+/// unseekable streaming sources work too), then the shard workers fan out.
+///
+/// # Errors
+///
+/// Propagates the source's first decode/read failure.
+pub fn analyze_sharded_source<Src: RecordSource>(
+    source: Src,
+    config: AnalyzerConfig,
+) -> Result<Analysis, Src::Error> {
+    let mut sharded = ShardedAnalyzer::with_config(config);
+    source.stream_into(&mut sharded)?;
+    Ok(sharded.into_analysis())
 }
 
 #[cfg(test)]

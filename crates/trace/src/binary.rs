@@ -5,17 +5,31 @@
 //! format: a 1-byte tag followed by little-endian fields.
 //!
 //! ```text
-//! 0x01 loop:u32 kind:u8              checkpoint
-//! 0x02 instr:u32 addr:u32 kind:u8    access
+//! 0x01 loop:u32 kind:u8              checkpoint   (6 bytes)
+//! 0x02 instr:u32 addr:u32 kind:u8    access       (10 bytes)
 //! ```
+//!
+//! Decoding is **zero-copy**: [`RecordReader`] walks a `&[u8]` in place and
+//! yields [`Record`]s without any intermediate `Vec<Record>` or per-record
+//! heap allocation — the building block under the framed
+//! [`foray-trace/v1`](crate::file) container. Failures are reported as a
+//! typed [`DecodeError`] carrying the byte offset and reason.
 
 use crate::record::{Access, AccessKind, InstrAddr, MemAddr, Record};
 use crate::sink::TraceSink;
 use minic::{CheckpointKind, LoopId};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 const TAG_CHECKPOINT: u8 = 0x01;
 const TAG_ACCESS: u8 = 0x02;
+
+const CHECKPOINT_BYTES: usize = 6;
+const ACCESS_BYTES: usize = 10;
+
+/// Upper bound on the encoded size of any single record — the size of a
+/// caller-provided scratch buffer for [`encode_record_into`].
+pub const MAX_RECORD_BYTES: usize = ACCESS_BYTES;
 
 fn kind_byte(kind: CheckpointKind) -> u8 {
     match kind {
@@ -34,45 +48,147 @@ fn kind_from_byte(b: u8) -> Option<CheckpointKind> {
     })
 }
 
-/// Encodes one record into a byte buffer.
-pub fn encode_record(rec: &Record, out: &mut Vec<u8>) {
-    match rec {
-        Record::Checkpoint { loop_id, kind } => {
-            out.push(TAG_CHECKPOINT);
-            out.extend_from_slice(&loop_id.0.to_le_bytes());
-            out.push(kind_byte(*kind));
-        }
-        Record::Access(a) => {
-            out.push(TAG_ACCESS);
-            out.extend_from_slice(&a.instr.0.to_le_bytes());
-            out.extend_from_slice(&a.addr.0.to_le_bytes());
-            out.push(match a.kind {
-                AccessKind::Read => 0,
-                AccessKind::Write => 1,
-            });
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeReason {
+    /// The record tag byte is neither checkpoint nor access.
+    BadTag(u8),
+    /// The checkpoint-kind byte is out of range.
+    BadCheckpointKind(u8),
+    /// The read/write byte is out of range.
+    BadAccessKind(u8),
+    /// The stream ends mid-record.
+    Truncated {
+        /// Bytes the current record still needs (tag included).
+        needed: usize,
+        /// Bytes actually left in the stream.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DecodeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeReason::BadTag(t) => write!(f, "bad record tag {t:#04x}"),
+            DecodeReason::BadCheckpointKind(k) => write!(f, "bad checkpoint kind {k}"),
+            DecodeReason::BadAccessKind(k) => write!(f, "bad access kind {k}"),
+            DecodeReason::Truncated { needed, available } => {
+                write!(f, "truncated record: needs {needed} bytes, {available} left")
+            }
         }
     }
 }
 
-/// Encodes a whole trace.
+/// Typed decode failure: where in the stream, and why.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::binary::{self, DecodeReason};
+///
+/// let err = binary::from_bytes(&[0xff]).unwrap_err();
+/// assert_eq!(err.offset, 0);
+/// assert_eq!(err.reason, DecodeReason::BadTag(0xff));
+/// assert_eq!(err.to_string(), "trace byte 0: bad record tag 0xff");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the record that failed to decode (the tag byte).
+    pub offset: u64,
+    /// What went wrong.
+    pub reason: DecodeReason,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for io::Error {
+    fn from(e: DecodeError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Encoded size of one record, in bytes.
+pub fn encoded_len(rec: &Record) -> usize {
+    match rec {
+        Record::Checkpoint { .. } => CHECKPOINT_BYTES,
+        Record::Access(_) => ACCESS_BYTES,
+    }
+}
+
+/// Encodes one record into a caller-provided fixed scratch buffer,
+/// returning the number of bytes written — the allocation-free core of
+/// every encoder in this module.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::binary::{encode_record_into, MAX_RECORD_BYTES};
+/// use minic_trace::{AccessKind, Record};
+///
+/// let mut scratch = [0u8; MAX_RECORD_BYTES];
+/// let rec = Record::access(0x4002a0, 0x7fff5934, AccessKind::Write);
+/// let n = encode_record_into(&rec, &mut scratch);
+/// assert_eq!(n, 10);
+/// assert_eq!(scratch[0], 0x02);
+/// ```
+pub fn encode_record_into(rec: &Record, buf: &mut [u8; MAX_RECORD_BYTES]) -> usize {
+    match rec {
+        Record::Checkpoint { loop_id, kind } => {
+            buf[0] = TAG_CHECKPOINT;
+            buf[1..5].copy_from_slice(&loop_id.0.to_le_bytes());
+            buf[5] = kind_byte(*kind);
+            CHECKPOINT_BYTES
+        }
+        Record::Access(a) => {
+            buf[0] = TAG_ACCESS;
+            buf[1..5].copy_from_slice(&a.instr.0.to_le_bytes());
+            buf[5..9].copy_from_slice(&a.addr.0.to_le_bytes());
+            buf[9] = match a.kind {
+                AccessKind::Read => 0,
+                AccessKind::Write => 1,
+            };
+            ACCESS_BYTES
+        }
+    }
+}
+
+/// Appends one encoded record to `out` (no temporary allocation; the bytes
+/// go through a stack scratch buffer).
+pub fn encode_record(rec: &Record, out: &mut Vec<u8>) {
+    let mut scratch = [0u8; MAX_RECORD_BYTES];
+    let n = encode_record_into(rec, &mut scratch);
+    out.extend_from_slice(&scratch[..n]);
+}
+
+/// Encodes a whole trace, reserving the exact output size up front.
 pub fn to_bytes(records: &[Record]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(records.len() * 10);
+    let mut out = Vec::with_capacity(records.iter().map(encoded_len).sum());
     for r in records {
         encode_record(r, &mut out);
     }
     out
 }
 
-/// Decodes a whole binary trace.
+/// Decodes a whole binary trace into an owned vector.
+///
+/// Prefer [`RecordReader`] when the records are consumed once in order —
+/// it performs no intermediate allocation.
 ///
 /// # Errors
 ///
-/// Returns [`io::Error`] with kind `InvalidData` on bad tags or truncation.
+/// Returns a [`DecodeError`] with byte offset and reason on bad tags, bad
+/// kind bytes, or truncation.
 ///
 /// # Examples
 ///
 /// ```
-/// # fn main() -> std::io::Result<()> {
+/// # fn main() -> Result<(), minic_trace::DecodeError> {
 /// use minic_trace::{binary, AccessKind, Record};
 /// let recs = vec![Record::access(0x400000, 0x1000_0000, AccessKind::Read)];
 /// let bytes = binary::to_bytes(&recs);
@@ -80,8 +196,103 @@ pub fn to_bytes(records: &[Record]) -> Vec<u8> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn from_bytes(bytes: &[u8]) -> io::Result<Vec<Record>> {
-    BinaryReader::new(bytes).collect()
+pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Record>, DecodeError> {
+    RecordReader::new(bytes).collect()
+}
+
+/// Decodes the record starting at `bytes[0]`, reporting errors at absolute
+/// offset `base`. Returns the record and its encoded length.
+pub(crate) fn decode_one(bytes: &[u8], base: u64) -> Result<(Record, usize), DecodeError> {
+    let err = |reason| DecodeError { offset: base, reason };
+    let need = |n: usize| {
+        if bytes.len() < n {
+            Err(err(DecodeReason::Truncated { needed: n, available: bytes.len() }))
+        } else {
+            Ok(())
+        }
+    };
+    let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("length checked"));
+    match bytes.first() {
+        None => Err(err(DecodeReason::Truncated { needed: 1, available: 0 })),
+        Some(&TAG_CHECKPOINT) => {
+            need(CHECKPOINT_BYTES)?;
+            let kind = kind_from_byte(bytes[5])
+                .ok_or_else(|| err(DecodeReason::BadCheckpointKind(bytes[5])))?;
+            Ok((Record::Checkpoint { loop_id: LoopId(u32_at(1)), kind }, CHECKPOINT_BYTES))
+        }
+        Some(&TAG_ACCESS) => {
+            need(ACCESS_BYTES)?;
+            let kind = match bytes[9] {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                k => return Err(err(DecodeReason::BadAccessKind(k))),
+            };
+            let access = Access { instr: InstrAddr(u32_at(1)), addr: MemAddr(u32_at(5)), kind };
+            Ok((Record::Access(access), ACCESS_BYTES))
+        }
+        Some(&t) => Err(err(DecodeReason::BadTag(t))),
+    }
+}
+
+/// Zero-copy streaming decoder over a byte slice.
+///
+/// Decodes records in place — no intermediate `Vec<Record>`, no per-record
+/// heap allocation. After the first error the iterator is fused (further
+/// calls yield `None`).
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{binary, AccessKind, Record};
+///
+/// let recs =
+///     vec![Record::checkpoint(4, minic::CheckpointKind::LoopBegin), Record::access(0x4002a0, 0x7fff5934, AccessKind::Write)];
+/// let bytes = binary::to_bytes(&recs);
+/// let decoded: Result<Vec<Record>, _> = binary::RecordReader::new(&bytes).collect();
+/// assert_eq!(decoded.unwrap(), recs);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> RecordReader<'a> {
+    /// Wraps a byte slice holding concatenated binary records.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        RecordReader { bytes, pos: 0, failed: false }
+    }
+
+    /// Byte offset of the next record to decode.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// The undecoded tail of the input.
+    pub fn remaining(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+}
+
+impl Iterator for RecordReader<'_> {
+    type Item = Result<Record, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos == self.bytes.len() {
+            return None;
+        }
+        match decode_one(&self.bytes[self.pos..], self.pos as u64) {
+            Ok((rec, len)) => {
+                self.pos += len;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 /// Writes binary records to any [`Write`]; pass `&mut writer` to keep
@@ -89,14 +300,13 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<Vec<Record>> {
 #[derive(Debug)]
 pub struct BinaryWriter<W: Write> {
     out: W,
-    buf: Vec<u8>,
     error: Option<io::Error>,
 }
 
 impl<W: Write> BinaryWriter<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
-        BinaryWriter { out, buf: Vec::with_capacity(16), error: None }
+        BinaryWriter { out, error: None }
     }
 
     /// First latched I/O error, if any (see [`crate::text::TextWriter`]).
@@ -115,9 +325,9 @@ impl<W: Write> TraceSink for BinaryWriter<W> {
         if self.error.is_some() {
             return;
         }
-        self.buf.clear();
-        encode_record(rec, &mut self.buf);
-        if let Err(e) = self.out.write_all(&self.buf) {
+        let mut scratch = [0u8; MAX_RECORD_BYTES];
+        let n = encode_record_into(rec, &mut scratch);
+        if let Err(e) = self.out.write_all(&scratch[..n]) {
             self.error = Some(e);
         }
     }
@@ -131,28 +341,27 @@ impl<W: Write> TraceSink for BinaryWriter<W> {
     }
 }
 
-/// Streaming binary decoder.
+/// Streaming binary decoder over any [`Read`].
+///
+/// For byte slices already in memory, prefer the allocation-free
+/// [`RecordReader`]; this type exists for sockets, pipes, and other
+/// unseekable streams of raw (unframed) records.
 #[derive(Debug)]
 pub struct BinaryReader<R: Read> {
     input: R,
+    offset: u64,
 }
 
 impl<R: Read> BinaryReader<R> {
     /// Wraps a reader.
     pub fn new(input: R) -> Self {
-        BinaryReader { input }
+        BinaryReader { input, offset: 0 }
     }
 
-    fn read_u32(&mut self) -> io::Result<u32> {
-        let mut b = [0u8; 4];
-        self.input.read_exact(&mut b)?;
-        Ok(u32::from_le_bytes(b))
-    }
-
-    fn read_u8(&mut self) -> io::Result<u8> {
-        let mut b = [0u8; 1];
-        self.input.read_exact(&mut b)?;
-        Ok(b[0])
+    fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.input.read_exact(buf)?;
+        self.offset += buf.len() as u64;
+        Ok(())
     }
 }
 
@@ -160,47 +369,26 @@ impl<R: Read> Iterator for BinaryReader<R> {
     type Item = io::Result<Record>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let mut tag = [0u8; 1];
-        match self.input.read(&mut tag) {
+        let start = self.offset;
+        let mut buf = [0u8; MAX_RECORD_BYTES];
+        match self.input.read(&mut buf[..1]) {
             Ok(0) => return None,
-            Ok(_) => {}
+            Ok(_) => self.offset += 1,
             Err(e) => return Some(Err(e)),
         }
-        let result = (|| -> io::Result<Record> {
-            match tag[0] {
-                TAG_CHECKPOINT => {
-                    let loop_id = self.read_u32()?;
-                    let kind = kind_from_byte(self.read_u8()?).ok_or_else(|| {
-                        io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint kind")
-                    })?;
-                    Ok(Record::Checkpoint { loop_id: LoopId(loop_id), kind })
-                }
-                TAG_ACCESS => {
-                    let instr = self.read_u32()?;
-                    let addr = self.read_u32()?;
-                    let kind = match self.read_u8()? {
-                        0 => AccessKind::Read,
-                        1 => AccessKind::Write,
-                        _ => {
-                            return Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                "bad access kind",
-                            ));
-                        }
-                    };
-                    Ok(Record::Access(Access {
-                        instr: InstrAddr(instr),
-                        addr: MemAddr(addr),
-                        kind,
-                    }))
-                }
-                t => Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad record tag {t:#x}"),
-                )),
+        let body = match buf[0] {
+            TAG_CHECKPOINT => CHECKPOINT_BYTES - 1,
+            TAG_ACCESS => ACCESS_BYTES - 1,
+            t => {
+                return Some(Err(
+                    DecodeError { offset: start, reason: DecodeReason::BadTag(t) }.into()
+                ));
             }
-        })();
-        Some(result)
+        };
+        if let Err(e) = self.read_exact(&mut buf[1..=body]) {
+            return Some(Err(e));
+        }
+        Some(decode_one(&buf[..=body], start).map(|(rec, _)| rec).map_err(Into::into))
     }
 }
 
@@ -225,6 +413,25 @@ mod tests {
     }
 
     #[test]
+    fn record_reader_round_trip_and_offsets() {
+        let recs = sample();
+        let bytes = to_bytes(&recs);
+        let mut reader = RecordReader::new(&bytes);
+        assert_eq!(reader.offset(), 0);
+        let decoded: Vec<Record> = reader.by_ref().map(Result::unwrap).collect();
+        assert_eq!(decoded, recs);
+        assert_eq!(reader.offset(), bytes.len());
+        assert!(reader.remaining().is_empty());
+    }
+
+    #[test]
+    fn io_reader_round_trip() {
+        let bytes = to_bytes(&sample());
+        let decoded: io::Result<Vec<Record>> = BinaryReader::new(bytes.as_slice()).collect();
+        assert_eq!(decoded.unwrap(), sample());
+    }
+
+    #[test]
     fn writer_round_trip() {
         let mut buf = Vec::new();
         {
@@ -241,16 +448,50 @@ mod tests {
     #[test]
     fn rejects_truncation_and_bad_tags() {
         let bytes = to_bytes(&sample());
-        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err());
-        assert!(from_bytes(&[0xff]).is_err());
-        assert!(from_bytes(&[TAG_CHECKPOINT, 0, 0, 0, 0, 9]).is_err());
+        let err = from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err.reason, DecodeReason::Truncated { .. }));
+        // The stream ends inside the final 6-byte checkpoint.
+        assert_eq!(err.offset, bytes.len() as u64 - CHECKPOINT_BYTES as u64);
+        let err = from_bytes(&[0xff]).unwrap_err();
+        assert_eq!(err, DecodeError { offset: 0, reason: DecodeReason::BadTag(0xff) });
+        let err = from_bytes(&[TAG_CHECKPOINT, 0, 0, 0, 0, 9]).unwrap_err();
+        assert_eq!(err.reason, DecodeReason::BadCheckpointKind(9));
+        let bytes = to_bytes(&[Record::access(1, 2, AccessKind::Read)]);
+        let mut corrupt = bytes.clone();
+        corrupt[9] = 7;
+        assert_eq!(from_bytes(&corrupt).unwrap_err().reason, DecodeReason::BadAccessKind(7));
     }
 
     #[test]
-    fn encoding_is_compact() {
+    fn error_offsets_point_at_the_failing_record() {
+        // Two good checkpoints (12 bytes), then garbage.
+        let mut bytes = to_bytes(&sample()[..2]);
+        bytes.push(0xee);
+        let err = from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.offset, 12);
+        assert_eq!(err.reason, DecodeReason::BadTag(0xee));
+        // The zero-copy reader fuses after the error.
+        let mut r = RecordReader::new(&bytes);
+        assert!(r.next().unwrap().is_ok());
+        assert!(r.next().unwrap().is_ok());
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn encoding_is_compact_and_sized_exactly() {
         let recs = sample();
         let bytes = to_bytes(&recs);
         // 2 accesses * 10 bytes + 3 checkpoints * 6 bytes.
         assert_eq!(bytes.len(), 2 * 10 + 3 * 6);
+        assert_eq!(bytes.len(), recs.iter().map(encoded_len).sum::<usize>());
+        assert_eq!(bytes.capacity(), bytes.len(), "to_bytes reserves exactly");
+    }
+
+    #[test]
+    fn decode_errors_convert_to_io_errors() {
+        let e: io::Error = from_bytes(&[0xff]).unwrap_err().into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("bad record tag"));
     }
 }

@@ -1,0 +1,889 @@
+//! The `foray-trace/v1` on-disk trace container.
+//!
+//! The raw [binary codec](crate::binary) is a bare record concatenation: it
+//! cannot be identified on disk, versioned, or validated without decoding
+//! every byte. This module frames it into a self-describing file format so
+//! traces can be recorded once and re-analyzed many times (the paper's
+//! offline mode at scales where re-profiling is the bottleneck):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"FORAYTRC"
+//! 8       2     format version, u16 LE (this module writes 1)
+//! 10      2     reserved, must be 0
+//! 12      4     writer block-capacity hint in bytes, u32 LE
+//! 16      ..    length-prefixed blocks, then the terminator + footer
+//!
+//! block   4     payload length N in bytes, u32 LE (N = 0 terminates)
+//!         4     record count in this block, u32 LE
+//!         N     payload: concatenated binary records
+//!
+//! footer  8     total record count, u64 LE (after the N = 0 terminator)
+//! ```
+//!
+//! All integers are little-endian. Blocks make streaming writes cheap (one
+//! `write` syscall per ~64 KiB, no seeking back to patch a header), let
+//! readers detect truncation at block granularity, and keep the in-memory
+//! working set of [`TraceReader`] at one block regardless of trace length.
+//! The footer double-checks that the stream was finished, not chopped.
+//!
+//! Three consumers cover the access patterns:
+//!
+//! * [`TraceFile`] — whole file in one buffer, records decoded zero-copy by
+//!   [`FileRecords`]. This is the memory-mapped shape; the workspace denies
+//!   `unsafe` code, so the buffer comes from one [`std::fs::read`] instead
+//!   of `mmap(2)` — same single-allocation behaviour, no page-cache
+//!   sharing.
+//! * [`TraceReader`] — constant-memory streaming over any [`Read`].
+//! * [`TraceWriter`] — a [`TraceSink`], so it can ride a profiling run and
+//!   write the file without ever materializing a `Vec<Record>`.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use minic_trace::file::{TraceFile, TraceWriter};
+//! use minic_trace::{AccessKind, Record, TraceSink};
+//!
+//! let trace = vec![
+//!     Record::checkpoint(0, minic::CheckpointKind::LoopBegin),
+//!     Record::access(0x400000, 0x1000_0000, AccessKind::Read),
+//! ];
+//! let mut writer = TraceWriter::new(Vec::new());
+//! for r in &trace {
+//!     writer.record(r);
+//! }
+//! writer.finish();
+//! let file = TraceFile::from_bytes(writer.into_inner())?;
+//! assert_eq!(file.record_count(), 2);
+//! let decoded: Result<Vec<Record>, _> = file.records().collect();
+//! assert_eq!(decoded?, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::binary::{self, DecodeError, MAX_RECORD_BYTES};
+use crate::record::Record;
+use crate::sink::TraceSink;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// The 8 magic bytes opening every trace file.
+pub const MAGIC: [u8; 8] = *b"FORAYTRC";
+
+/// The format version this module reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Fixed header size: magic + version + reserved + block hint.
+pub const HEADER_BYTES: usize = 16;
+
+/// Default block payload capacity for [`TraceWriter`].
+pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
+
+/// Upper bound a reader accepts for one block's payload — a corrupt length
+/// field must not trigger a gigabyte allocation.
+const MAX_BLOCK_BYTES: u32 = 1 << 30;
+
+/// Why a trace file failed to open or replay.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic([u8; 8]),
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u16),
+    /// The reserved header field is non-zero.
+    BadHeader,
+    /// The file ends mid-structure (`what` names the missing piece).
+    Truncated {
+        /// Byte offset where the missing structure should start.
+        offset: u64,
+        /// Which structure is cut off.
+        what: &'static str,
+    },
+    /// A block's payload failed to decode; the offset is absolute.
+    Decode(DecodeError),
+    /// A block declares a payload length past the sanity bound.
+    OversizedBlock {
+        /// Byte offset of the block header.
+        offset: u64,
+        /// The declared payload length.
+        len: u32,
+    },
+    /// A block's payload decoded to a different number of records than its
+    /// header declared.
+    BlockCountMismatch {
+        /// Byte offset of the block header.
+        offset: u64,
+        /// Record count the block header declared.
+        declared: u32,
+        /// Records actually decoded from the payload.
+        decoded: u32,
+    },
+    /// The footer's total record count disagrees with the blocks.
+    CountMismatch {
+        /// Count the footer declared.
+        declared: u64,
+        /// Records actually seen across all blocks.
+        decoded: u64,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "trace file i/o: {e}"),
+            ReadError::BadMagic(m) => write!(f, "not a foray-trace file (magic {m:02x?})"),
+            ReadError::UnsupportedVersion(v) => {
+                write!(f, "unsupported foray-trace version {v} (reader supports {VERSION})")
+            }
+            ReadError::BadHeader => write!(f, "corrupt foray-trace header (reserved field set)"),
+            ReadError::Truncated { offset, what } => {
+                write!(f, "trace file truncated at byte {offset}: missing {what}")
+            }
+            ReadError::Decode(e) => write!(f, "trace file {e}"),
+            ReadError::OversizedBlock { offset, len } => {
+                write!(f, "block at byte {offset} declares an oversized payload ({len} bytes)")
+            }
+            ReadError::BlockCountMismatch { offset, declared, decoded } => {
+                write!(f, "block at byte {offset} declares {declared} records but holds {decoded}")
+            }
+            ReadError::CountMismatch { declared, decoded } => {
+                write!(f, "footer declares {declared} records but the blocks hold {decoded}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn header_bytes(block_hint: u32) -> [u8; HEADER_BYTES] {
+    let mut h = [0u8; HEADER_BYTES];
+    h[..8].copy_from_slice(&MAGIC);
+    h[8..10].copy_from_slice(&VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&block_hint.to_le_bytes());
+    h
+}
+
+/// Validates a header, returning the writer's block-capacity hint.
+fn parse_header(h: &[u8; HEADER_BYTES]) -> Result<u32, ReadError> {
+    if h[..8] != MAGIC {
+        return Err(ReadError::BadMagic(h[..8].try_into().expect("slice length")));
+    }
+    let version = u16::from_le_bytes(h[8..10].try_into().expect("slice length"));
+    if version != VERSION {
+        return Err(ReadError::UnsupportedVersion(version));
+    }
+    if h[10..12] != [0, 0] {
+        return Err(ReadError::BadHeader);
+    }
+    Ok(u32::from_le_bytes(h[12..16].try_into().expect("slice length")))
+}
+
+/// Writes a `foray-trace/v1` file to any [`Write`], buffering records into
+/// length-prefixed blocks.
+///
+/// `TraceWriter` is a [`TraceSink`], so it can sit directly behind the
+/// profiler: `minic_sim::run_with_sink(&prog, &cfg, &inputs, &mut writer)`
+/// records a trace to disk without ever holding it in memory. Because
+/// [`TraceSink::record`] cannot return errors, I/O failures are latched;
+/// check [`Self::io_error`] after [`Self::finish`].
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    block: Vec<u8>,
+    block_records: u32,
+    block_cap: usize,
+    total: u64,
+    error: Option<io::Error>,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a writer, emitting the file header immediately, with the
+    /// default block capacity.
+    pub fn new(out: W) -> Self {
+        TraceWriter::with_block_bytes(out, DEFAULT_BLOCK_BYTES)
+    }
+
+    /// [`Self::new`] with an explicit block payload capacity, clamped to at
+    /// least one record and to the readers' block sanity bound (a block may
+    /// overshoot the capacity by one record before it flushes, so the upper
+    /// clamp leaves that headroom — every written block stays readable).
+    pub fn with_block_bytes(out: W, block_cap: usize) -> Self {
+        let block_cap =
+            block_cap.clamp(MAX_RECORD_BYTES, MAX_BLOCK_BYTES as usize - MAX_RECORD_BYTES);
+        let mut w = TraceWriter {
+            out,
+            // Reserve for the common case only; oversized blocks grow
+            // organically instead of pre-claiming up to the 1 GiB bound.
+            block: Vec::with_capacity(block_cap.min(DEFAULT_BLOCK_BYTES) + MAX_RECORD_BYTES),
+            block_records: 0,
+            block_cap,
+            total: 0,
+            error: None,
+            finished: false,
+        };
+        let header = header_bytes(block_cap as u32);
+        if let Err(e) = w.out.write_all(&header) {
+            w.error = Some(e);
+        }
+        w
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.total
+    }
+
+    /// First latched I/O error, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Unwraps the inner writer (call [`Self::finish`] first).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn flush_block(&mut self) {
+        if self.error.is_some() || self.block.is_empty() {
+            return;
+        }
+        let len = self.block.len() as u32;
+        let result = self
+            .out
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.out.write_all(&self.block_records.to_le_bytes()))
+            .and_then(|()| self.out.write_all(&self.block));
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+        self.block.clear();
+        self.block_records = 0;
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn record(&mut self, rec: &Record) {
+        if self.error.is_some() {
+            return;
+        }
+        binary::encode_record(rec, &mut self.block);
+        self.block_records += 1;
+        self.total += 1;
+        if self.block.len() >= self.block_cap {
+            self.flush_block();
+        }
+    }
+
+    /// Flushes the last block and writes the terminator + footer.
+    /// Idempotent: later calls are no-ops.
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.flush_block();
+        if self.error.is_some() {
+            return;
+        }
+        let result = self
+            .out
+            .write_all(&0u32.to_le_bytes())
+            .and_then(|()| self.out.write_all(&0u32.to_le_bytes()))
+            .and_then(|()| self.out.write_all(&self.total.to_le_bytes()))
+            .and_then(|()| self.out.flush());
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Writes a complete record slice as a `foray-trace/v1` stream.
+///
+/// # Errors
+///
+/// Propagates the first I/O failure.
+pub fn write_to<W: Write>(out: W, records: &[Record]) -> io::Result<u64> {
+    let mut w = TraceWriter::new(out);
+    for r in records {
+        w.record(r);
+    }
+    w.finish();
+    match w.error {
+        Some(e) => Err(e),
+        None => Ok(w.total),
+    }
+}
+
+/// Writes a complete record slice to a new `foray-trace/v1` file, returning
+/// the record count.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+///
+/// # Examples
+///
+/// ```no_run
+/// use minic_trace::{file, AccessKind, Record};
+/// let recs = vec![Record::access(0x400000, 0x1000_0000, AccessKind::Read)];
+/// file::write_file("trace.ftrace", &recs).unwrap();
+/// ```
+pub fn write_file<P: AsRef<Path>>(path: P, records: &[Record]) -> io::Result<u64> {
+    write_to(io::BufWriter::new(std::fs::File::create(path)?), records)
+}
+
+/// Maps `read_exact` failures to [`ReadError::Truncated`] when the stream
+/// simply ended, so corrupt files report *what* is missing.
+fn read_struct<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    offset: u64,
+    what: &'static str,
+) -> Result<(), ReadError> {
+    input.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ReadError::Truncated { offset, what }
+        } else {
+            ReadError::Io(e)
+        }
+    })
+}
+
+/// Constant-memory streaming reader over any [`Read`]: holds one block in
+/// memory at a time, whatever the trace length.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minic_trace::ReadError> {
+/// use minic_trace::{file, AccessKind, Record};
+///
+/// let recs = vec![Record::access(0x400000, 0x1000_0000, AccessKind::Read)];
+/// let mut bytes = Vec::new();
+/// file::write_to(&mut bytes, &recs).unwrap();
+/// let reader = file::TraceReader::new(bytes.as_slice())?;
+/// let decoded: Result<Vec<Record>, _> = reader.collect();
+/// assert_eq!(decoded?, recs);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    offset: u64,
+    block: Vec<u8>,
+    pos: usize,
+    block_base: u64,
+    block_declared: u32,
+    block_decoded: u32,
+    total: u64,
+    state: ReaderState,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ReaderState {
+    Reading,
+    Done,
+    Failed,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps a reader, consuming and validating the file header.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::BadMagic`], [`ReadError::UnsupportedVersion`],
+    /// [`ReadError::BadHeader`], or an I/O / truncation failure.
+    pub fn new(mut input: R) -> Result<Self, ReadError> {
+        let mut header = [0u8; HEADER_BYTES];
+        read_struct(&mut input, &mut header, 0, "file header")?;
+        parse_header(&header)?;
+        Ok(TraceReader {
+            input,
+            offset: HEADER_BYTES as u64,
+            block: Vec::new(),
+            pos: 0,
+            block_base: 0,
+            block_declared: 0,
+            block_decoded: 0,
+            total: 0,
+            state: ReaderState::Reading,
+        })
+    }
+
+    /// Records decoded so far.
+    pub fn records_read(&self) -> u64 {
+        self.total
+    }
+
+    /// Loads the next block; `Ok(false)` means the terminator + footer were
+    /// consumed and the stream is complete.
+    fn next_block(&mut self) -> Result<bool, ReadError> {
+        if self.block_decoded != self.block_declared {
+            return Err(ReadError::BlockCountMismatch {
+                offset: self.block_base,
+                declared: self.block_declared,
+                decoded: self.block_decoded,
+            });
+        }
+        let header_offset = self.offset;
+        let mut header = [0u8; 8];
+        read_struct(&mut self.input, &mut header, header_offset, "block header")?;
+        self.offset += 8;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("slice length"));
+        let count = u32::from_le_bytes(header[4..].try_into().expect("slice length"));
+        if len == 0 {
+            let mut footer = [0u8; 8];
+            read_struct(&mut self.input, &mut footer, self.offset, "footer")?;
+            self.offset += 8;
+            let declared = u64::from_le_bytes(footer);
+            if declared != self.total {
+                return Err(ReadError::CountMismatch { declared, decoded: self.total });
+            }
+            return Ok(false);
+        }
+        if len > MAX_BLOCK_BYTES {
+            return Err(ReadError::OversizedBlock { offset: header_offset, len });
+        }
+        self.block.resize(len as usize, 0);
+        read_struct(&mut self.input, &mut self.block, self.offset, "block payload")?;
+        self.block_base = header_offset;
+        self.block_declared = count;
+        self.block_decoded = 0;
+        self.pos = 0;
+        self.offset += len as u64;
+        Ok(true)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Record, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.state != ReaderState::Reading {
+            return None;
+        }
+        while self.pos == self.block.len() {
+            match self.next_block() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.state = ReaderState::Done;
+                    return None;
+                }
+                Err(e) => {
+                    self.state = ReaderState::Failed;
+                    return Some(Err(e));
+                }
+            }
+        }
+        // Payload offsets are relative to the block payload start
+        // (block_base + the 8-byte block header).
+        let abs = self.block_base + 8 + self.pos as u64;
+        match binary::decode_one(&self.block[self.pos..], abs) {
+            Ok((rec, len)) => {
+                self.pos += len;
+                self.block_decoded += 1;
+                self.total += 1;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.state = ReaderState::Failed;
+                Some(Err(ReadError::Decode(e)))
+            }
+        }
+    }
+}
+
+/// A whole `foray-trace/v1` file held in one buffer, decoded zero-copy.
+///
+/// [`Self::open`] performs a single bulk read (the workspace forbids
+/// `unsafe`, so this is the `mmap` stand-in), validates the header and the
+/// block structure up front, and then [`Self::records`] iterates without
+/// further allocation. Structure errors (bad magic, truncation, count
+/// mismatches) surface at open time; only payload decode errors can appear
+/// during iteration.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    bytes: Vec<u8>,
+    record_count: u64,
+    block_hint: u32,
+}
+
+impl TraceFile {
+    /// Reads and validates a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReadError`] arising from I/O or file structure.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<TraceFile, ReadError> {
+        TraceFile::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Validates an in-memory byte buffer as a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Any structural [`ReadError`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<TraceFile, ReadError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(ReadError::Truncated { offset: bytes.len() as u64, what: "file header" });
+        }
+        let block_hint = parse_header(bytes[..HEADER_BYTES].try_into().expect("length checked"))?;
+        // Walk the block headers (no payload decoding) to validate the
+        // frame structure and read the footer.
+        let mut pos = HEADER_BYTES;
+        let mut declared_total = 0u64;
+        loop {
+            let Some(header) = bytes.get(pos..pos + 8) else {
+                return Err(ReadError::Truncated { offset: pos as u64, what: "block header" });
+            };
+            let len = u32::from_le_bytes(header[..4].try_into().expect("slice length"));
+            let count = u32::from_le_bytes(header[4..].try_into().expect("slice length"));
+            if len == 0 {
+                let Some(footer) = bytes.get(pos + 8..pos + 16) else {
+                    return Err(ReadError::Truncated { offset: pos as u64 + 8, what: "footer" });
+                };
+                let declared = u64::from_le_bytes(footer.try_into().expect("slice length"));
+                if declared != declared_total {
+                    return Err(ReadError::CountMismatch { declared, decoded: declared_total });
+                }
+                break;
+            }
+            if len > MAX_BLOCK_BYTES {
+                return Err(ReadError::OversizedBlock { offset: pos as u64, len });
+            }
+            if bytes.len() < pos + 8 + len as usize {
+                return Err(ReadError::Truncated { offset: pos as u64 + 8, what: "block payload" });
+            }
+            declared_total += count as u64;
+            pos += 8 + len as usize;
+        }
+        Ok(TraceFile { bytes, record_count: declared_total, block_hint })
+    }
+
+    /// Total records in the file (from the block headers, validated against
+    /// the footer at open time).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// The writer's block-capacity hint recorded in the header.
+    pub fn block_hint(&self) -> u32 {
+        self.block_hint
+    }
+
+    /// The raw file bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Iterates the records, decoding zero-copy from the file buffer.
+    pub fn records(&self) -> FileRecords<'_> {
+        FileRecords {
+            bytes: &self.bytes,
+            pos: HEADER_BYTES,
+            inner: binary::RecordReader::new(&[]),
+            block_base: HEADER_BYTES as u64,
+            block_declared: 0,
+            block_decoded: 0,
+            done: false,
+        }
+    }
+}
+
+/// Zero-copy record iterator over a [`TraceFile`] buffer.
+///
+/// Decodes each block payload in place with
+/// [`RecordReader`](binary::RecordReader); no per-record or per-block
+/// allocation. Fuses after the first error.
+#[derive(Debug, Clone)]
+pub struct FileRecords<'a> {
+    bytes: &'a [u8],
+    /// Offset of the next unread block header.
+    pos: usize,
+    inner: binary::RecordReader<'a>,
+    block_base: u64,
+    block_declared: u32,
+    block_decoded: u32,
+    done: bool,
+}
+
+impl FileRecords<'_> {
+    /// Advances to the next block. `Ok(false)` at the terminator. The frame
+    /// structure was validated at open time, so header/length reads cannot
+    /// fail here.
+    fn next_block(&mut self) -> Result<bool, ReadError> {
+        if self.block_decoded != self.block_declared {
+            return Err(ReadError::BlockCountMismatch {
+                offset: self.block_base,
+                declared: self.block_declared,
+                decoded: self.block_decoded,
+            });
+        }
+        let header = &self.bytes[self.pos..self.pos + 8];
+        let len = u32::from_le_bytes(header[..4].try_into().expect("slice length")) as usize;
+        let count = u32::from_le_bytes(header[4..].try_into().expect("slice length"));
+        if len == 0 {
+            return Ok(false);
+        }
+        let payload = &self.bytes[self.pos + 8..self.pos + 8 + len];
+        self.inner = binary::RecordReader::new(payload);
+        self.block_base = self.pos as u64;
+        self.block_declared = count;
+        self.block_decoded = 0;
+        self.pos += 8 + len;
+        Ok(true)
+    }
+}
+
+impl Iterator for FileRecords<'_> {
+    type Item = Result<Record, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        while self.inner.remaining().is_empty() {
+            match self.next_block() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        match self.inner.next()? {
+            Ok(rec) => {
+                self.block_decoded += 1;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.done = true;
+                // Map the payload-relative offset to a file offset.
+                let offset = self.block_base + 8 + e.offset;
+                Some(Err(ReadError::Decode(DecodeError { offset, ..e })))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AccessKind;
+    use minic::CheckpointKind;
+
+    fn sample(n: u32) -> Vec<Record> {
+        let mut recs = vec![Record::checkpoint(0, CheckpointKind::LoopBegin)];
+        for i in 0..n {
+            recs.push(Record::checkpoint(0, CheckpointKind::BodyBegin));
+            recs.push(Record::access(0x40_0000 + 4 * (i % 7), 0x1000_0000 + i, AccessKind::Read));
+            recs.push(Record::checkpoint(0, CheckpointKind::BodyEnd));
+        }
+        recs
+    }
+
+    fn encode(records: &[Record], block_bytes: usize) -> Vec<u8> {
+        let mut w = TraceWriter::with_block_bytes(Vec::new(), block_bytes);
+        for r in records {
+            w.record(r);
+        }
+        w.finish();
+        assert!(w.io_error().is_none());
+        w.into_inner()
+    }
+
+    #[test]
+    fn round_trip_across_block_sizes() {
+        let recs = sample(100);
+        for block_bytes in [1, 16, 64, 4096, DEFAULT_BLOCK_BYTES] {
+            let bytes = encode(&recs, block_bytes);
+            let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+            assert_eq!(file.record_count(), recs.len() as u64);
+            let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
+            assert_eq!(decoded, recs, "block_bytes={block_bytes}");
+            let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+            let streamed: Vec<Record> = reader.by_ref().map(Result::unwrap).collect();
+            assert_eq!(streamed, recs, "block_bytes={block_bytes}");
+            assert_eq!(reader.records_read(), recs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_file() {
+        let bytes = encode(&[], DEFAULT_BLOCK_BYTES);
+        assert_eq!(bytes.len(), HEADER_BYTES + 8 + 8, "header + terminator + footer");
+        let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(file.record_count(), 0);
+        assert_eq!(file.records().count(), 0);
+        assert_eq!(TraceReader::new(bytes.as_slice()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn write_file_and_open_round_trip() {
+        let recs = sample(30);
+        let path = std::env::temp_dir().join("foray_trace_file_test.ftrace");
+        assert_eq!(write_file(&path, &recs).unwrap(), recs.len() as u64);
+        let file = TraceFile::open(&path).unwrap();
+        let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
+        assert_eq!(decoded, recs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = encode(&sample(3), 64);
+        bytes[0] = b'X';
+        assert!(matches!(TraceFile::from_bytes(bytes.clone()), Err(ReadError::BadMagic(_))));
+        bytes[0] = MAGIC[0];
+        bytes[8] = 0xfe;
+        assert!(matches!(
+            TraceFile::from_bytes(bytes.clone()),
+            Err(ReadError::UnsupportedVersion(0xfe))
+        ));
+        bytes[8] = VERSION as u8;
+        bytes[10] = 1;
+        assert!(matches!(TraceFile::from_bytes(bytes.clone()), Err(ReadError::BadHeader)));
+        bytes[10] = 0;
+        assert!(TraceFile::from_bytes(bytes).is_ok(), "restored header parses again");
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = encode(&sample(40), 64);
+        for cut in [3, HEADER_BYTES - 1, HEADER_BYTES + 3, bytes.len() / 2, bytes.len() - 1] {
+            let truncated = bytes[..cut].to_vec();
+            assert!(
+                matches!(
+                    TraceFile::from_bytes(truncated.clone()),
+                    Err(ReadError::Truncated { .. })
+                ),
+                "cut={cut}"
+            );
+            let streamed: Result<Vec<Record>, ReadError> =
+                match TraceReader::new(truncated.as_slice()) {
+                    Ok(r) => r.collect(),
+                    Err(e) => Err(e),
+                };
+            assert!(matches!(streamed, Err(ReadError::Truncated { .. })), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_footer_count_mismatch() {
+        let mut bytes = encode(&sample(5), DEFAULT_BLOCK_BYTES);
+        let footer_at = bytes.len() - 8;
+        bytes[footer_at] ^= 1;
+        assert!(matches!(
+            TraceFile::from_bytes(bytes.clone()),
+            Err(ReadError::CountMismatch { .. })
+        ));
+        let streamed: Result<Vec<Record>, _> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(streamed, Err(ReadError::CountMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_block_count_mismatch() {
+        let mut bytes = encode(&sample(5), DEFAULT_BLOCK_BYTES);
+        // Bump the single block's record-count field; fix the footer to
+        // match so the frame walk passes and decoding catches the lie.
+        let count_at = HEADER_BYTES + 4;
+        bytes[count_at] += 1;
+        let footer_at = bytes.len() - 8;
+        bytes[footer_at] += 1;
+        let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+        let got: Result<Vec<Record>, _> = file.records().collect();
+        assert!(matches!(got, Err(ReadError::BlockCountMismatch { .. })));
+        let streamed: Result<Vec<Record>, _> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(streamed, Err(ReadError::BlockCountMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupt_payload_reports_absolute_offset() {
+        let recs = sample(2);
+        let mut bytes = encode(&recs, DEFAULT_BLOCK_BYTES);
+        // First payload byte is the first record's tag.
+        let tag_at = HEADER_BYTES + 8;
+        bytes[tag_at] = 0xaa;
+        let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+        let err = file.records().find_map(Result::err).unwrap();
+        let ReadError::Decode(d) = &err else { panic!("want decode error, got {err}") };
+        assert_eq!(d.offset, tag_at as u64);
+        let err = TraceReader::new(bytes.as_slice()).unwrap().find_map(Result::err).unwrap();
+        let ReadError::Decode(d) = &err else { panic!("want decode error, got {err}") };
+        assert_eq!(d.offset, tag_at as u64);
+    }
+
+    #[test]
+    fn rejects_oversized_block_declarations() {
+        let mut bytes = Vec::from(header_bytes(64));
+        bytes.extend_from_slice(&(MAX_BLOCK_BYTES + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            TraceFile::from_bytes(bytes.clone()),
+            Err(ReadError::OversizedBlock { .. })
+        ));
+        let streamed: Result<Vec<Record>, _> =
+            TraceReader::new(bytes.as_slice()).unwrap().collect();
+        assert!(matches!(streamed, Err(ReadError::OversizedBlock { .. })));
+    }
+
+    #[test]
+    fn absurd_block_capacities_still_produce_readable_files() {
+        // Capacities past the readers' sanity bound (or past u32) must be
+        // clamped at write time, never produce a file the readers reject.
+        let recs = sample(20);
+        for cap in [0usize, MAX_BLOCK_BYTES as usize, usize::MAX] {
+            let mut w = TraceWriter::with_block_bytes(Vec::new(), cap);
+            for r in &recs {
+                w.record(r);
+            }
+            w.finish();
+            assert!(w.io_error().is_none());
+            let file = TraceFile::from_bytes(w.into_inner()).unwrap();
+            assert!(file.block_hint() <= MAX_BLOCK_BYTES, "cap={cap}");
+            let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
+            assert_eq!(decoded, recs, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn writer_reports_counts_and_is_idempotent_on_finish() {
+        let recs = sample(10);
+        let mut w = TraceWriter::new(Vec::new());
+        for r in &recs {
+            w.record(r);
+        }
+        assert_eq!(w.records_written(), recs.len() as u64);
+        w.finish();
+        w.finish(); // no double terminator
+        let bytes = w.into_inner();
+        let file = TraceFile::from_bytes(bytes).unwrap();
+        assert_eq!(file.record_count(), recs.len() as u64);
+    }
+}

@@ -5,10 +5,14 @@
 //! `(instruction address, access address, read/write)` interleaved with loop
 //! *checkpoints*. This crate defines those records, two serializations (the
 //! paper-compatible text format of Fig. 4(c) and a compact binary format),
-//! streaming readers/writers, the shared address-space layout, and the
-//! [`TraceSink`] consumer trait that lets the analyzer run *online* during
-//! profiling — the constant-space mode the paper highlights at the end of
-//! Section 4.
+//! streaming readers/writers, the versioned `foray-trace/v1` on-disk
+//! container ([`mod@file`]), the shared address-space layout, and the two
+//! halves of the stream contract: [`TraceSink`] (push — lets the analyzer
+//! run *online* during profiling, the constant-space mode the paper
+//! highlights at the end of Section 4) and [`RecordSource`] (pull —
+//! replays slices, zero-copy byte decoders, and trace files into any
+//! sink). See `docs/ARCHITECTURE.md` at the repository root for the full
+//! stream contract and the on-disk format specification.
 //!
 //! # Examples
 //!
@@ -32,15 +36,20 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod file;
 pub mod layout;
 pub mod record;
 pub mod shard;
 pub mod sink;
+pub mod source;
 pub mod stats;
 pub mod text;
 
+pub use binary::{DecodeError, DecodeReason, RecordReader};
+pub use file::{ReadError, TraceFile, TraceReader, TraceWriter};
 pub use record::{Access, AccessKind, InstrAddr, MemAddr, Record};
 pub use shard::{shard_of, ShardBuffer, ShardingSink};
 pub use sink::{CountingSink, NullSink, TeeSink, TraceSink, VecSink};
+pub use source::RecordSource;
 pub use stats::TraceStats;
 pub use text::ParseTraceError;

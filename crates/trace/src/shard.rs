@@ -50,6 +50,20 @@ pub struct ShardBuffer {
 }
 
 /// Routes a record stream into per-shard buffers (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, Record, ShardingSink, TraceSink};
+///
+/// let mut sink = ShardingSink::new(4);
+/// sink.record(&Record::checkpoint(0, minic::CheckpointKind::LoopBegin));
+/// sink.record(&Record::access(0x400000, 0x1000_0000, AccessKind::Read));
+/// // Checkpoints broadcast to every shard; the access lands on one.
+/// let shards = sink.into_shards();
+/// assert!(shards.iter().all(|s| !s.records.is_empty()));
+/// assert_eq!(shards.iter().map(|s| s.access_seqs.len()).sum::<usize>(), 1);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardingSink {
     shards: Vec<ShardBuffer>,

@@ -18,6 +18,16 @@ pub trait TraceSink {
 }
 
 /// Collects records into a vector (offline analysis, tests).
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, Record, TraceSink, VecSink};
+///
+/// let mut sink = VecSink::new();
+/// sink.record(&Record::access(0x400000, 0x1000_0000, AccessKind::Read));
+/// assert_eq!(sink.into_records().len(), 1);
+/// ```
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct VecSink {
     /// Records in arrival order.
@@ -51,6 +61,17 @@ impl TraceSink for NullSink {
 }
 
 /// Counts records without storing them.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, CountingSink, Record, TraceSink};
+///
+/// let mut sink = CountingSink::new();
+/// sink.record(&Record::access(0x400000, 0x1000_0000, AccessKind::Read));
+/// sink.record(&Record::checkpoint(0, minic::CheckpointKind::LoopBegin));
+/// assert_eq!((sink.accesses, sink.checkpoints, sink.total()), (1, 1, 2));
+/// ```
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CountingSink {
     /// Number of access records seen.
@@ -82,6 +103,18 @@ impl TraceSink for CountingSink {
 
 /// Duplicates the stream into two sinks (e.g. write a file *and* analyze
 /// online in one profiling run).
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, CountingSink, Record, TeeSink, TraceSink, VecSink};
+///
+/// let mut tee = TeeSink::new(VecSink::new(), CountingSink::new());
+/// tee.record(&Record::access(0x400000, 0x1000_0000, AccessKind::Write));
+/// tee.finish();
+/// let (stored, counted) = tee.into_inner();
+/// assert_eq!((stored.records.len(), counted.total()), (1, 1));
+/// ```
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct TeeSink<A, B> {
     /// First consumer.
