@@ -93,7 +93,7 @@ fn bench_capacity_plan(c: &mut Criterion) {
 
 fn bench_corpus_explore(c: &mut Criterion) {
     // The full parallel path: profile + enumerate + plan + sweep over
-    // capacities x presets x the six workloads, sequential vs pooled.
+    // capacities x presets x the workload corpus, sequential vs pooled.
     let mut group = c.benchmark_group("spm_dse_explore");
     group.sample_size(10);
     for jobs in [1usize, 0] {

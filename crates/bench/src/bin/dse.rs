@@ -1,5 +1,5 @@
 //! Phase II design-space exploration over the whole workload corpus:
-//! capacities × energy presets × the six workloads, in parallel, with
+//! capacities × energy presets × the workload corpus, in parallel, with
 //! Pareto-front reporting.
 //!
 //! ```text

@@ -103,7 +103,7 @@ pub fn run_suite_with(params: Params, workers: usize) -> Vec<BenchRun> {
         .collect()
 }
 
-/// The corpus design space: all six workloads at `params`, every energy
+/// The corpus design space: every workload at `params`, every energy
 /// preset, and a standard SPM capacity grid — what the `dse` bin, the
 /// `spm_dse` bench, and CI's `dse-smoke` job explore.
 pub fn dse_space(params: Params) -> foray_spm::SpmDesignSpace {
@@ -171,7 +171,7 @@ mod tests {
     fn batched_suite_matches_direct_execution() {
         // The batch pool must not change any experiment number.
         let batched = run_suite_with(Params::default(), 3);
-        assert_eq!(batched.len(), 6);
+        assert_eq!(batched.len(), 7);
         let direct =
             BenchRun::execute(foray_workloads::by_name("gsmc", Params::default()).unwrap());
         let from_batch = batched.iter().find(|r| r.workload.name == "gsmc").unwrap();

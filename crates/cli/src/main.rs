@@ -25,7 +25,7 @@
 //!
 //! Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime error.
 
-use foray::{AnalyzerConfig, FilterConfig, ForayGen, ForayModel};
+use foray::{AnalyzerConfig, Engine, FilterConfig, ForayGen, ForayModel};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -67,11 +67,16 @@ const USAGE: &str = "usage:
 program sources (model/report/trace/spm):
   <prog.mc>        a mini-C source file, or
   --workload NAME  a built-in corpus workload (jpegc, lamec, susanc, fftc,
-                   gsmc, adpcmc) with its canonical inputs; --scale N sizes it
+                   gsmc, adpcmc, histoc) with its canonical inputs;
+                   --scale N sizes it
 
 analysis flags (model/report/spm/trace analyze):
   --sharded   analyze the trace on K parallel shard workers (identical output)
   --jobs N    shard/worker count for --sharded (default: available parallelism)
+
+profiling flags (model/report/trace/spm):
+  --engine E  execution engine: `vm` (compiled bytecode, default) or `tree`
+              (tree-walking oracle); both emit byte-identical traces
 
 dse flags:
   --workloads  corpus subset by name, or `all` (default: all)
@@ -119,6 +124,7 @@ struct Options {
     executable: bool,
     sharded: bool,
     jobs: usize,
+    engine: Engine,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -135,6 +141,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         executable: false,
         sharded: false,
         jobs: 0,
+        engine: Engine::default(),
     };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -149,6 +156,12 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--sharded" => opts.sharded = true,
             "--jobs" => opts.jobs = parse_num(&need(&mut it, "--jobs")?)? as usize,
             "--format" => opts.format = need(&mut it, "--format")?,
+            "--engine" => {
+                let name = need(&mut it, "--engine")?;
+                opts.engine = Engine::parse(&name).ok_or_else(|| {
+                    CliError::Usage(format!("unknown engine `{name}` (use `tree` or `vm`)"))
+                })?;
+            }
             "--workload" => opts.workload = Some(need(&mut it, "--workload")?),
             "--scale" => opts.scale = parse_num(&need(&mut it, "--scale")?)?.max(1) as u32,
             "-o" | "--output" => opts.output = Some(need(&mut it, "-o")?),
@@ -222,6 +235,11 @@ fn pipeline(opts: &Options) -> ForayGen {
         .inputs(opts.inputs.clone())
         .analyzer(AnalyzerConfig { shards: opts.jobs, ..AnalyzerConfig::default() })
         .sharded(opts.sharded)
+        .engine(opts.engine)
+}
+
+fn sim_config(opts: &Options) -> minic_sim::SimConfig {
+    minic_sim::SimConfig { engine: opts.engine, ..minic_sim::SimConfig::default() }
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -275,7 +293,7 @@ fn cmd_annotate(src: &str) -> Result<(), CliError> {
 
 fn cmd_trace(src: &str, opts: &Options) -> Result<(), CliError> {
     let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
-    let (_, records) = minic_sim::run(&prog, &minic_sim::SimConfig::default(), &opts.inputs)
+    let (_, records) = minic_sim::run(&prog, &sim_config(opts), &opts.inputs)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     let bytes = match opts.format.as_str() {
         "text" => minic_trace::text::to_text(&records).into_bytes(),
@@ -304,7 +322,7 @@ fn cmd_trace_record(src: &str, opts: &Options) -> Result<(), CliError> {
     let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
     let file = std::fs::File::create(path)?;
     let mut writer = minic_trace::TraceWriter::new(std::io::BufWriter::new(file));
-    minic_sim::run_with_sink(&prog, &minic_sim::SimConfig::default(), &opts.inputs, &mut writer)
+    minic_sim::run_with_sink(&prog, &sim_config(opts), &opts.inputs, &mut writer)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     if let Some(e) = writer.io_error() {
         return Err(CliError::Io(std::io::Error::new(e.kind(), e.to_string())));
@@ -620,6 +638,26 @@ mod tests {
             parse_options(&["x.mc".to_owned(), "--jobs".to_owned()]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn engine_flag_parses_and_both_engines_run() {
+        let path = write_temp("engine", PROG);
+        for engine in ["tree", "vm"] {
+            let args: Vec<String> = ["model", path.as_str(), "--engine", engine]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(run(&args).is_ok(), "--engine {engine}");
+            let parsed = parse_options(&args[1..]).unwrap();
+            assert_eq!(parsed.engine.as_str(), engine);
+        }
+        assert!(matches!(
+            parse_options(&["x.mc".to_owned(), "--engine".to_owned(), "jit".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+        // Default is the VM.
+        assert_eq!(parse_options(&["x.mc".to_owned()]).unwrap().engine, Engine::Vm);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! The sharded analyzer ([`crate::shard`]) parallelizes *within* one trace;
 //! this module parallelizes *across* programs — the shape of the bench
-//! suite (six workloads × tables) and of design-space exploration sweeps.
+//! suite (workload corpus × tables) and of design-space exploration sweeps.
 //! Jobs are pulled from a shared atomic cursor by `N` scoped worker
 //! threads, and results are returned **in job order** regardless of which
 //! worker finished first, so batch output is deterministic.

@@ -73,6 +73,7 @@ pub use analyzer::{
 pub use batch::{analyze_batch, analyze_trace_files, map_ordered, BatchJob};
 pub use hints::InlineHint;
 pub use looptree::{LoopTree, NodeId, ROOT};
+pub use minic_sim::Engine;
 pub use model::{AffineTerm, FilterConfig, ForayModel, ModelDiff, ModelLoop, ModelRef};
 pub use pipeline::{ForayGen, ForayGenOutput, PipelineError};
 pub use report::{CaptureComparison, LoopBreakdown, LoopKind, MemoryBehavior};

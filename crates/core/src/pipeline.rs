@@ -11,7 +11,7 @@ use crate::hints::{inline_hints, InlineHint};
 use crate::model::{FilterConfig, ForayModel};
 use crate::shard::ShardedAnalyzer;
 use minic::Program;
-use minic_sim::{RuntimeError, SimConfig, SimOutcome};
+use minic_sim::{Engine, RuntimeError, SimConfig, SimOutcome};
 use minic_trace::{TeeSink, TraceSink, TraceStats};
 use std::fmt;
 
@@ -155,6 +155,15 @@ impl ForayGen {
     /// Sets the simulator configuration.
     pub fn sim(mut self, config: SimConfig) -> Self {
         self.sim = config;
+        self
+    }
+
+    /// Selects the profiling engine (default: the compiled bytecode VM).
+    /// Both engines emit byte-identical traces; [`Engine::Tree`] keeps the
+    /// tree-walking oracle available for ablation (`--engine tree` in the
+    /// CLI).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.sim.engine = engine;
         self
     }
 
@@ -352,6 +361,16 @@ mod tests {
         assert_eq!(seq.analysis, sharded.analysis);
         assert_eq!(seq.code, sharded.code);
         assert_eq!(seq.trace_stats, sharded.trace_stats);
+    }
+
+    #[test]
+    fn tree_engine_ablation_matches_the_vm_default() {
+        let vm = ForayGen::new().run_source(FIG4).unwrap();
+        let tree = ForayGen::new().engine(Engine::Tree).run_source(FIG4).unwrap();
+        assert_eq!(vm.analysis, tree.analysis);
+        assert_eq!(vm.code, tree.code);
+        assert_eq!(vm.trace_stats, tree.trace_stats);
+        assert_eq!(vm.sim.accesses, tree.sim.accesses);
     }
 
     #[test]

@@ -7,11 +7,32 @@
 //! memory traffic they generate with instruction addresses from a dedicated
 //! library range, so the analyzer can classify it.
 
+/// Dense builtin identity — what the simulators dispatch on (an integer
+/// match, not a string comparison; the names only matter at resolution
+/// time in the frontend and the bytecode lowerer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BuiltinKind {
+    Malloc,
+    Free,
+    Memset,
+    Memcpy,
+    PrintInt,
+    Input,
+    Rand,
+    Srand,
+    Abs,
+    Min,
+    Max,
+}
+
 /// Description of one builtin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Builtin {
     /// Callable name.
     pub name: &'static str,
+    /// Dispatch identity.
+    pub kind: BuiltinKind,
     /// Exact number of arguments.
     pub arity: usize,
     /// Whether the call yields a value (usable in expressions).
@@ -20,17 +41,17 @@ pub struct Builtin {
 
 /// All builtins known to the language.
 pub const BUILTINS: &[Builtin] = &[
-    Builtin { name: "malloc", arity: 1, returns_value: true },
-    Builtin { name: "free", arity: 1, returns_value: false },
-    Builtin { name: "memset", arity: 3, returns_value: false },
-    Builtin { name: "memcpy", arity: 3, returns_value: false },
-    Builtin { name: "print_int", arity: 1, returns_value: false },
-    Builtin { name: "input", arity: 1, returns_value: true },
-    Builtin { name: "rand", arity: 0, returns_value: true },
-    Builtin { name: "srand", arity: 1, returns_value: false },
-    Builtin { name: "abs", arity: 1, returns_value: true },
-    Builtin { name: "min", arity: 2, returns_value: true },
-    Builtin { name: "max", arity: 2, returns_value: true },
+    Builtin { name: "malloc", kind: BuiltinKind::Malloc, arity: 1, returns_value: true },
+    Builtin { name: "free", kind: BuiltinKind::Free, arity: 1, returns_value: false },
+    Builtin { name: "memset", kind: BuiltinKind::Memset, arity: 3, returns_value: false },
+    Builtin { name: "memcpy", kind: BuiltinKind::Memcpy, arity: 3, returns_value: false },
+    Builtin { name: "print_int", kind: BuiltinKind::PrintInt, arity: 1, returns_value: false },
+    Builtin { name: "input", kind: BuiltinKind::Input, arity: 1, returns_value: true },
+    Builtin { name: "rand", kind: BuiltinKind::Rand, arity: 0, returns_value: true },
+    Builtin { name: "srand", kind: BuiltinKind::Srand, arity: 1, returns_value: false },
+    Builtin { name: "abs", kind: BuiltinKind::Abs, arity: 1, returns_value: true },
+    Builtin { name: "min", kind: BuiltinKind::Min, arity: 2, returns_value: true },
+    Builtin { name: "max", kind: BuiltinKind::Max, arity: 2, returns_value: true },
 ];
 
 /// Looks up a builtin by name.

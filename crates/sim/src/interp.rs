@@ -24,26 +24,37 @@ use minic_trace::layout;
 use minic_trace::{AccessKind, Record, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Stack pointer floor; descending below this is a stack overflow.
-const STACK_LIMIT: u32 = 0x7f00_0000;
+pub(crate) const STACK_LIMIT: u32 = 0x7f00_0000;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Abort after this many executed statements/expressions (guards
-    /// non-terminating programs).
+    /// Abort after this many executed steps (statements/expressions on the
+    /// tree-walker, bytecode instructions on the VM — either way, a guard
+    /// against non-terminating programs).
     pub max_steps: u64,
     /// Emit synthetic argument-passing stack traffic around user calls.
     pub model_call_overhead: bool,
     /// Maximum user call depth. The default (128) is conservative so the
-    /// interpreter's own recursion fits in a 2 MiB thread stack.
+    /// tree-walker's own recursion fits in a 2 MiB thread stack (the VM
+    /// uses an explicit call stack but honors the same limit for trace
+    /// equality).
     pub max_call_depth: usize,
+    /// Which execution engine to run (default: the compiled VM).
+    pub engine: crate::Engine,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_steps: 500_000_000, model_call_overhead: true, max_call_depth: 128 }
+        SimConfig {
+            max_steps: 500_000_000,
+            model_call_overhead: true,
+            max_call_depth: 128,
+            engine: crate::Engine::default(),
+        }
     }
 }
 
@@ -52,7 +63,9 @@ impl Default for SimConfig {
 pub struct SimOutcome {
     /// Values passed to `print_int`, in order.
     pub printed: Vec<i64>,
-    /// Executed steps (statement/expression granularity).
+    /// Executed steps — statement/expression evaluations on the
+    /// tree-walker, bytecode instructions on the VM. The unit is
+    /// engine-specific; every other counter is engine-identical.
     pub steps: u64,
     /// Memory access records emitted.
     pub accesses: u64,
@@ -139,18 +152,19 @@ enum Flow {
     Return(Value),
 }
 
-/// A storage slot for a local name.
+/// A storage slot for a local name. Pointee/element types are interned
+/// behind `Rc` so handing out decayed pointers never deep-clones a `Type`.
 #[derive(Debug, Clone)]
 enum Slot {
     Reg { ty: Type, value: Value },
-    Array { elem: Type, addr: u32 },
+    Array { elem: Rc<Type>, addr: u32 },
 }
 
 /// Global storage resolved at startup.
 #[derive(Debug, Clone)]
 enum GlobalSlot {
-    Scalar { ty: Type, addr: u32 },
-    Array { elem: Type, addr: u32 },
+    Scalar { ty: Rc<Type>, addr: u32 },
+    Array { elem: Rc<Type>, addr: u32 },
 }
 
 struct Frame {
@@ -161,7 +175,7 @@ struct Frame {
 /// Where an lvalue lives.
 enum Place {
     Reg { name: String },
-    Mem { addr: u32, ty: Type, site: SiteId },
+    Mem { addr: u32, ty: Rc<Type>, site: SiteId },
 }
 
 /// The interpreter. Most uses go through [`crate::run`] /
@@ -178,7 +192,6 @@ pub struct Interp<'p, S: TraceSink> {
     sp: u32,
     sink: S,
     inputs: Vec<i64>,
-    input_cursor: usize,
     rng_state: u64,
     outcome: SimOutcome,
 }
@@ -194,18 +207,19 @@ impl<'p, S: TraceSink> Interp<'p, S> {
             let addr = next;
             // Each global is 4-byte aligned.
             next += (g.byte_size() + 3) & !3;
+            let ty = Rc::new(g.ty.clone());
             match g.array_len {
                 Some(_) => {
                     for (i, v) in g.init.iter().enumerate() {
                         write_typed(&mut mem, addr + i as u32 * g.ty.size(), &g.ty, *v);
                     }
-                    globals.insert(g.name.clone(), GlobalSlot::Array { elem: g.ty.clone(), addr });
+                    globals.insert(g.name.clone(), GlobalSlot::Array { elem: ty, addr });
                 }
                 None => {
                     if let Some(v) = g.init.first() {
                         write_typed(&mut mem, addr, &g.ty, *v);
                     }
-                    globals.insert(g.name.clone(), GlobalSlot::Scalar { ty: g.ty.clone(), addr });
+                    globals.insert(g.name.clone(), GlobalSlot::Scalar { ty, addr });
                 }
             }
         }
@@ -224,7 +238,6 @@ impl<'p, S: TraceSink> Interp<'p, S> {
             sp: layout::STACK_TOP,
             sink,
             inputs,
-            input_cursor: 0,
             rng_state: 0x2545_f491_4f6c_dd1d,
             outcome: SimOutcome::default(),
         }
@@ -300,7 +313,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
                 Some(Slot::Array { elem, addr }) => Ok(Value::ptr(*addr, elem.clone())),
                 None => Err(RuntimeError::UnknownVariable { name: name.clone() }),
             },
-            Place::Mem { addr, ty, site } => Ok(self.load_mem(*addr, &ty.clone(), *site)),
+            Place::Mem { addr, ty, site } => Ok(self.load_mem(*addr, ty, *site)),
         }
     }
 
@@ -309,7 +322,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
             Place::Reg { name } => {
                 match self.lookup_slot_mut(name) {
                     Some(Slot::Reg { ty, value: v }) => {
-                        *v = value.coerce_to(&ty.clone());
+                        *v = value.coerce_to(ty);
                         Ok(())
                     }
                     Some(Slot::Array { .. }) => {
@@ -320,8 +333,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
                 }
             }
             Place::Mem { addr, ty, site } => {
-                let ty = ty.clone();
-                self.store_mem(*addr, &ty, *site, &value);
+                self.store_mem(*addr, ty, *site, &value);
                 Ok(())
             }
         }
@@ -484,37 +496,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
             }
             _ => {}
         }
-        let (a, b) = (l.as_int(), r.as_int());
-        let v = match op {
-            BinOp::Add => a.wrapping_add(b),
-            BinOp::Sub => a.wrapping_sub(b),
-            BinOp::Mul => a.wrapping_mul(b),
-            BinOp::Div => {
-                if b == 0 {
-                    return Err(RuntimeError::DivisionByZero);
-                }
-                a.wrapping_div(b)
-            }
-            BinOp::Rem => {
-                if b == 0 {
-                    return Err(RuntimeError::DivisionByZero);
-                }
-                a.wrapping_rem(b)
-            }
-            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
-            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
-            BinOp::BitAnd => a & b,
-            BinOp::BitOr => a | b,
-            BinOp::BitXor => a ^ b,
-            BinOp::Lt => (a < b) as i64,
-            BinOp::Le => (a <= b) as i64,
-            BinOp::Gt => (a > b) as i64,
-            BinOp::Ge => (a >= b) as i64,
-            BinOp::Eq => (a == b) as i64,
-            BinOp::Ne => (a != b) as i64,
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-        };
-        Ok(Value::Int(v))
+        Ok(Value::Int(int_binop(op, l.as_int(), r.as_int())?))
     }
 
     fn eval_call(&mut self, name: &str, args: &[Expr]) -> RunResult<Value> {
@@ -620,7 +602,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
                             return Err(RuntimeError::StackOverflow);
                         }
                         self.sp -= size;
-                        Slot::Array { elem: ty.clone(), addr: self.sp }
+                        Slot::Array { elem: Rc::new(ty.clone()), addr: self.sp }
                     }
                     None => {
                         let value = match init {
@@ -739,126 +721,27 @@ impl<'p, S: TraceSink> Interp<'p, S> {
 
     // ---- builtins ---------------------------------------------------------
 
-    fn lib_access(&mut self, builtin: usize, slot: u32, addr: u32, kind: AccessKind) {
-        self.emit_access(layout::library_instr(builtin as u32, slot), addr, kind);
-    }
-
+    /// Runs a builtin through the shared system-library implementation
+    /// (`crate::syslib`) — one body for both engines, so library traffic
+    /// cannot drift between them.
     fn call_builtin(&mut self, bi: usize, args: Vec<Value>) -> RunResult<Value> {
-        let name = BUILTINS[bi].name;
-        let arg = |i: usize| -> i64 { args.get(i).map_or(0, |v| v.as_int()) };
-        match name {
-            "malloc" => {
-                let size = arg(0);
-                let size = u32::try_from(size).map_err(|_| RuntimeError::BadBuiltinArgument {
-                    builtin: "malloc",
-                    value: size,
-                })?;
-                let block = self.heap.alloc(size).ok_or(RuntimeError::HeapExhausted)?;
-                self.outcome.heap_allocations += 1;
-                // Allocator writes its size header.
-                self.mem.write_u32(block.header, size);
-                self.lib_access(bi, 0, block.header, AccessKind::Write);
-                Ok(Value::ptr(block.user, Type::Char))
-            }
-            "free" => {
-                let addr = arg(0) as u32;
-                // Allocator reads the header back.
-                self.lib_access(bi, 0, addr.wrapping_sub(8), AccessKind::Read);
-                self.heap.free(addr);
-                Ok(Value::zero())
-            }
-            "memset" => {
-                let (dst, val, n) = (arg(0) as u32, arg(1) as u8, arg(2));
-                let n = checked_len("memset", n)?;
-                let mut off = 0;
-                while off + 4 <= n {
-                    let word = u32::from_le_bytes([val; 4]);
-                    self.mem.write_u32(dst + off, word);
-                    self.lib_access(bi, 0, dst + off, AccessKind::Write);
-                    off += 4;
-                }
-                while off < n {
-                    self.mem.write_u8(dst + off, val);
-                    self.lib_access(bi, 1, dst + off, AccessKind::Write);
-                    off += 1;
-                }
-                Ok(Value::zero())
-            }
-            "memcpy" => {
-                let (dst, src, n) = (arg(0) as u32, arg(1) as u32, arg(2));
-                let n = checked_len("memcpy", n)?;
-                let mut off = 0;
-                while off + 4 <= n {
-                    let word = self.mem.read_u32(src + off);
-                    self.lib_access(bi, 0, src + off, AccessKind::Read);
-                    self.mem.write_u32(dst + off, word);
-                    self.lib_access(bi, 1, dst + off, AccessKind::Write);
-                    off += 4;
-                }
-                while off < n {
-                    let b = self.mem.read_u8(src + off);
-                    self.lib_access(bi, 2, src + off, AccessKind::Read);
-                    self.mem.write_u8(dst + off, b);
-                    self.lib_access(bi, 3, dst + off, AccessKind::Write);
-                    off += 1;
-                }
-                Ok(Value::zero())
-            }
-            "print_int" => {
-                let v = arg(0);
-                // Stage the value through the I/O buffer, like printf's
-                // internal buffering would.
-                let pos = (self.outcome.printed.len() as u32 % 16) * 4;
-                let addr = layout::LIB_DATA_BASE + 0x40 + pos;
-                self.mem.write_u32(addr, v as u32);
-                self.lib_access(bi, 0, addr, AccessKind::Write);
-                self.outcome.printed.push(v);
-                Ok(Value::zero())
-            }
-            "input" => {
-                let idx = arg(0);
-                let value = if self.inputs.is_empty() {
-                    0
-                } else {
-                    let i = (idx.rem_euclid(self.inputs.len() as i64)) as usize;
-                    self.inputs[i]
-                };
-                self.input_cursor = self.input_cursor.wrapping_add(1);
-                let addr = layout::LIB_DATA_BASE + 0x100 + ((idx.rem_euclid(1024)) as u32) * 4;
-                self.lib_access(bi, 0, addr, AccessKind::Read);
-                Ok(Value::Int(value))
-            }
-            "rand" => {
-                // xorshift*; reads and writes its static state like libc.
-                let state_addr = layout::LIB_DATA_BASE;
-                self.lib_access(bi, 0, state_addr, AccessKind::Read);
-                let mut x = self.rng_state;
-                x ^= x >> 12;
-                x ^= x << 25;
-                x ^= x >> 27;
-                self.rng_state = x;
-                self.lib_access(bi, 1, state_addr, AccessKind::Write);
-                let v = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) as i64;
-                Ok(Value::Int(v & 0x7fff_ffff))
-            }
-            "srand" => {
-                self.rng_state = (arg(0) as u64) | 1;
-                self.lib_access(bi, 0, layout::LIB_DATA_BASE, AccessKind::Write);
-                Ok(Value::zero())
-            }
-            "abs" => Ok(Value::Int(arg(0).wrapping_abs())),
-            "min" => Ok(Value::Int(arg(0).min(arg(1)))),
-            "max" => Ok(Value::Int(arg(0).max(arg(1)))),
-            other => Err(RuntimeError::UnknownFunction { name: other.to_owned() }),
+        let mut a = [0i64; 3];
+        for (i, v) in args.iter().take(3).enumerate() {
+            a[i] = v.as_int();
         }
-    }
-}
-
-fn checked_len(builtin: &'static str, n: i64) -> RunResult<u32> {
-    if !(0..=0x1000_0000).contains(&n) {
-        Err(RuntimeError::BadBuiltinArgument { builtin, value: n })
-    } else {
-        Ok(n as u32)
+        let mut ctx = crate::syslib::LibCtx {
+            mem: &mut self.mem,
+            heap: &mut self.heap,
+            sink: &mut self.sink,
+            outcome: &mut self.outcome,
+            inputs: &self.inputs,
+            rng_state: &mut self.rng_state,
+        };
+        Ok(match crate::syslib::call_builtin(&mut ctx, bi, a)? {
+            crate::syslib::LibValue::Int(v) => Value::Int(v),
+            crate::syslib::LibValue::MallocPtr(addr) => Value::ptr(addr, Type::Char),
+            crate::syslib::LibValue::Zero => Value::zero(),
+        })
     }
 }
 
@@ -882,8 +765,18 @@ fn apply_compound(op: BinOp, old: &Value, rhs: &Value) -> RunResult<Value> {
             _ => {}
         }
     }
-    let (a, b) = (old.as_int(), rhs.as_int());
-    let v = match op {
+    // `AssignOp::bin_op` only yields the five arithmetic operators.
+    Ok(Value::Int(int_binop(op, old.as_int(), rhs.as_int())?))
+}
+
+/// The one integer-arithmetic table both engines (and the bytecode
+/// lowerer's constant folder) share: wrapping two's-complement arithmetic,
+/// C-truncating division with a checked divisor, 63-masked shifts, and 0/1
+/// comparisons. Centralized so the engines' byte-identity contract cannot
+/// drift through a one-sided edit.
+#[inline(always)]
+pub(crate) fn int_binop(op: BinOp, a: i64, b: i64) -> RunResult<i64> {
+    Ok(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
@@ -899,16 +792,28 @@ fn apply_compound(op: BinOp, old: &Value, rhs: &Value) -> RunResult<Value> {
             }
             a.wrapping_rem(b)
         }
-        _ => unreachable!("compound assignment limited to arithmetic"),
-    };
-    Ok(Value::Int(v))
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::And | BinOp::Or => unreachable!("short-circuit forms never reach int_binop"),
+    })
 }
 
 fn read_typed(mem: &Memory, addr: u32, ty: &Type) -> Value {
     match ty {
         Type::Int => Value::Int(mem.read_i32(addr)),
         Type::Char => Value::Int(mem.read_u8(addr) as i64),
-        Type::Ptr(pointee) => Value::Ptr { addr: mem.read_u32(addr), pointee: (**pointee).clone() },
+        Type::Ptr(pointee) => {
+            Value::Ptr { addr: mem.read_u32(addr), pointee: Rc::new((**pointee).clone()) }
+        }
     }
 }
 

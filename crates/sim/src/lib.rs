@@ -9,6 +9,18 @@
 //! paper's constant-space online mode; collecting into a
 //! [`minic_trace::VecSink`] or a trace file gives the offline mode.
 //!
+//! Two execution engines produce **byte-identical** traces:
+//!
+//! * [`Engine::Vm`] (the default) [`compile`]s the program once into a
+//!   slot-resolved bytecode and executes it on [`Vm`] — no string hashing,
+//!   no type clones, no per-scope allocation on the hot path;
+//! * [`Engine::Tree`] walks the AST directly ([`Interp`]). It is the
+//!   differential oracle: slower, but structurally close to the semantics
+//!   it implements.
+//!
+//! Select the engine through [`SimConfig::engine`]; `tests/vm_equiv.rs`
+//! locks the two engines together on the whole workload corpus.
+//!
 //! # Examples
 //!
 //! ```
@@ -26,16 +38,54 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod interp;
+pub mod lower;
 pub mod mem;
+pub(crate) mod syslib;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::{CompiledProgram, Op, TyKind, TypeId, TypeTable, VmValue};
 pub use interp::{Interp, RuntimeError, SimConfig, SimOutcome};
+pub use lower::compile;
 pub use mem::{Heap, HeapBlock, Memory};
 pub use value::Value;
+pub use vm::Vm;
 
 use minic::Program;
 use minic_trace::{Record, TraceSink, VecSink};
+
+/// Which execution engine profiles the program. Both emit byte-identical
+/// traces; see the crate docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Tree-walking interpreter ([`Interp`]) — the differential oracle.
+    Tree,
+    /// Compiled bytecode VM ([`Vm`]) — the fast default.
+    #[default]
+    Vm,
+}
+
+impl Engine {
+    /// Parses an engine name (`"tree"` / `"vm"`), as accepted by the CLI's
+    /// `--engine` flag.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "tree" => Some(Engine::Tree),
+            "vm" => Some(Engine::Vm),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of the engine.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Vm => "vm",
+        }
+    }
+}
 
 /// Runs a program, collecting the full trace in memory.
 ///
@@ -47,8 +97,8 @@ pub fn run(
     config: &SimConfig,
     inputs: &[i64],
 ) -> Result<(SimOutcome, Vec<Record>), RuntimeError> {
-    let interp = Interp::new(prog, config.clone(), inputs.to_vec(), VecSink::new());
-    let (outcome, sink) = interp.run()?;
+    let mut sink = VecSink::new();
+    let outcome = run_with_sink(prog, config, inputs, &mut sink)?;
     Ok((outcome, sink.into_records()))
 }
 
@@ -77,9 +127,19 @@ pub fn run_with_sink<S: TraceSink>(
     inputs: &[i64],
     sink: &mut S,
 ) -> Result<SimOutcome, RuntimeError> {
-    let interp = Interp::new(prog, config.clone(), inputs.to_vec(), sink);
-    let (outcome, _) = interp.run()?;
-    Ok(outcome)
+    match config.engine {
+        Engine::Tree => {
+            let interp = Interp::new(prog, config.clone(), inputs.to_vec(), sink);
+            let (outcome, _) = interp.run()?;
+            Ok(outcome)
+        }
+        Engine::Vm => {
+            let compiled = compile(prog);
+            let vm = Vm::new(&compiled, config.clone(), inputs.to_vec(), sink);
+            let (outcome, _) = vm.run()?;
+            Ok(outcome)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,51 +8,101 @@ use std::collections::HashMap;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+/// Second-level fan-out: each directory node covers 4 MiB.
+const NODE_LEN: usize = 1 << 10;
+/// Top-level fan-out over the 32-bit space.
+const DIR_LEN: usize = 1 << 10;
+
+type Leaf = [u8; PAGE_SIZE];
+type Node = [Option<Box<Leaf>>; NODE_LEN];
+
+const NO_LEAF: Option<Box<Leaf>> = None;
 
 /// Sparse byte memory. Any 32-bit address is readable/writable; untouched
 /// bytes read as zero (the simulator zero-initializes, like a loader's BSS).
-#[derive(Debug, Default, Clone)]
+///
+/// Storage is a two-level page directory (10 + 10 + 12 bit split): a load
+/// or store is two array indexes and two pointer hops — no hashing — which
+/// is what keeps both execution engines' `Memory` traffic cheap relative
+/// to their own dispatch overhead.
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    dir: Vec<Option<Box<Node>>>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        Memory::default()
+        Memory { dir: vec![None; DIR_LEN] }
     }
 
-    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&Leaf> {
+        let node = self.dir[(addr >> (PAGE_BITS + 10)) as usize].as_deref()?;
+        node[((addr >> PAGE_BITS) as usize) & (NODE_LEN - 1)].as_deref()
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut Leaf {
+        let node = self.dir[(addr >> (PAGE_BITS + 10)) as usize]
+            .get_or_insert_with(|| Box::new([NO_LEAF; NODE_LEN]));
+        node[((addr >> PAGE_BITS) as usize) & (NODE_LEN - 1)]
+            .get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match self.pages.get(&(addr >> PAGE_BITS)) {
+        match self.page(addr) {
             Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
         self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
     /// Reads a little-endian u32 (no alignment requirement, as on the
     /// paper's PISA-like target accesses are byte-granular in the trace).
+    /// Words within one page — the overwhelmingly common case — cost a
+    /// single page walk.
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32));
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            match self.page(addr) {
+                Some(page) => {
+                    u32::from_le_bytes(page[off..off + 4].try_into().expect("4-byte slice"))
+                }
+                None => 0,
+            }
+        } else {
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
+            u32::from_le_bytes(bytes)
         }
-        u32::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian u32.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
         }
     }
 
@@ -63,7 +113,11 @@ impl Memory {
 
     /// Number of resident pages (diagnostic).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.dir
+            .iter()
+            .flatten()
+            .map(|node| node.iter().filter(|leaf| leaf.is_some()).count())
+            .sum()
     }
 }
 

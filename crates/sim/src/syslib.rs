@@ -1,0 +1,173 @@
+//! The simulated "system library": one implementation of every builtin,
+//! shared by both execution engines.
+//!
+//! Byte-identity between the tree-walker and the VM depends on builtins
+//! having *identical* side effects — the memset/memcpy word-split loops,
+//! `print_int`'s I/O-buffer address formula, `rand`'s xorshift constants,
+//! `input`'s address math, the allocator's header traffic. Centralizing
+//! the bodies here (over a [`LibCtx`] view of whichever engine is running)
+//! makes a one-sided edit impossible.
+//!
+//! Builtins only ever consume integer views of their arguments, so the
+//! engines pass a fixed `[i64; 3]` (max arity is 3; missing arguments read
+//! as 0, like the oracle's historical `args.get(i).map_or(0, ..)`). The
+//! one pointer-producing builtin (`malloc`) returns [`LibValue::MallocPtr`]
+//! and each engine tags it with its own `char` representation.
+
+use crate::interp::{RuntimeError, SimOutcome};
+use crate::mem::{Heap, Memory};
+use minic::builtins::{BuiltinKind, BUILTINS};
+use minic_trace::layout;
+use minic_trace::{AccessKind, Record, TraceSink};
+
+/// Mutable view of the engine state a builtin may touch.
+pub(crate) struct LibCtx<'a, S: TraceSink> {
+    pub mem: &'a mut Memory,
+    pub heap: &'a mut Heap,
+    pub sink: &'a mut S,
+    pub outcome: &'a mut SimOutcome,
+    pub inputs: &'a [i64],
+    pub rng_state: &'a mut u64,
+}
+
+/// Engine-agnostic builtin result.
+pub(crate) enum LibValue {
+    /// Plain integer result.
+    Int(i64),
+    /// `malloc`'s user pointer (each engine tags it as `char*`).
+    MallocPtr(u32),
+    /// `void` builtins (the engines push their zero value).
+    Zero,
+}
+
+impl<S: TraceSink> LibCtx<'_, S> {
+    fn emit(&mut self, builtin: usize, slot: u32, addr: u32, kind: AccessKind) {
+        self.outcome.accesses += 1;
+        self.sink.record(&Record::Access(minic_trace::Access {
+            instr: layout::library_instr(builtin as u32, slot),
+            addr: minic_trace::MemAddr(addr),
+            kind,
+        }));
+    }
+}
+
+/// Executes builtin `bi` (index into [`BUILTINS`]) with integer argument
+/// views. Trace traffic, memory effects, and errors are identical no
+/// matter which engine calls.
+pub(crate) fn call_builtin<S: TraceSink>(
+    ctx: &mut LibCtx<'_, S>,
+    bi: usize,
+    args: [i64; 3],
+) -> Result<LibValue, RuntimeError> {
+    let arg = |i: usize| args[i];
+    match BUILTINS[bi].kind {
+        BuiltinKind::Malloc => {
+            let size = arg(0);
+            let size = u32::try_from(size)
+                .map_err(|_| RuntimeError::BadBuiltinArgument { builtin: "malloc", value: size })?;
+            let block = ctx.heap.alloc(size).ok_or(RuntimeError::HeapExhausted)?;
+            ctx.outcome.heap_allocations += 1;
+            // Allocator writes its size header.
+            ctx.mem.write_u32(block.header, size);
+            ctx.emit(bi, 0, block.header, AccessKind::Write);
+            Ok(LibValue::MallocPtr(block.user))
+        }
+        BuiltinKind::Free => {
+            let addr = arg(0) as u32;
+            // Allocator reads the header back.
+            ctx.emit(bi, 0, addr.wrapping_sub(8), AccessKind::Read);
+            ctx.heap.free(addr);
+            Ok(LibValue::Zero)
+        }
+        BuiltinKind::Memset => {
+            let (dst, val, n) = (arg(0) as u32, arg(1) as u8, arg(2));
+            let n = checked_len("memset", n)?;
+            let mut off = 0;
+            while off + 4 <= n {
+                let word = u32::from_le_bytes([val; 4]);
+                ctx.mem.write_u32(dst + off, word);
+                ctx.emit(bi, 0, dst + off, AccessKind::Write);
+                off += 4;
+            }
+            while off < n {
+                ctx.mem.write_u8(dst + off, val);
+                ctx.emit(bi, 1, dst + off, AccessKind::Write);
+                off += 1;
+            }
+            Ok(LibValue::Zero)
+        }
+        BuiltinKind::Memcpy => {
+            let (dst, src, n) = (arg(0) as u32, arg(1) as u32, arg(2));
+            let n = checked_len("memcpy", n)?;
+            let mut off = 0;
+            while off + 4 <= n {
+                let word = ctx.mem.read_u32(src + off);
+                ctx.emit(bi, 0, src + off, AccessKind::Read);
+                ctx.mem.write_u32(dst + off, word);
+                ctx.emit(bi, 1, dst + off, AccessKind::Write);
+                off += 4;
+            }
+            while off < n {
+                let b = ctx.mem.read_u8(src + off);
+                ctx.emit(bi, 2, src + off, AccessKind::Read);
+                ctx.mem.write_u8(dst + off, b);
+                ctx.emit(bi, 3, dst + off, AccessKind::Write);
+                off += 1;
+            }
+            Ok(LibValue::Zero)
+        }
+        BuiltinKind::PrintInt => {
+            let v = arg(0);
+            // Stage the value through the I/O buffer, like printf's
+            // internal buffering would.
+            let pos = (ctx.outcome.printed.len() as u32 % 16) * 4;
+            let addr = layout::LIB_DATA_BASE + 0x40 + pos;
+            ctx.mem.write_u32(addr, v as u32);
+            ctx.emit(bi, 0, addr, AccessKind::Write);
+            ctx.outcome.printed.push(v);
+            Ok(LibValue::Zero)
+        }
+        BuiltinKind::Input => {
+            let idx = arg(0);
+            let value = if ctx.inputs.is_empty() {
+                0
+            } else {
+                let i = (idx.rem_euclid(ctx.inputs.len() as i64)) as usize;
+                ctx.inputs[i]
+            };
+            let addr = layout::LIB_DATA_BASE + 0x100 + ((idx.rem_euclid(1024)) as u32) * 4;
+            ctx.emit(bi, 0, addr, AccessKind::Read);
+            Ok(LibValue::Int(value))
+        }
+        BuiltinKind::Rand => {
+            // xorshift*; reads and writes its static state like libc.
+            let state_addr = layout::LIB_DATA_BASE;
+            ctx.emit(bi, 0, state_addr, AccessKind::Read);
+            let mut x = *ctx.rng_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            *ctx.rng_state = x;
+            ctx.emit(bi, 1, state_addr, AccessKind::Write);
+            let v = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) as i64;
+            Ok(LibValue::Int(v & 0x7fff_ffff))
+        }
+        BuiltinKind::Srand => {
+            *ctx.rng_state = (arg(0) as u64) | 1;
+            ctx.emit(bi, 0, layout::LIB_DATA_BASE, AccessKind::Write);
+            Ok(LibValue::Zero)
+        }
+        BuiltinKind::Abs => Ok(LibValue::Int(arg(0).wrapping_abs())),
+        BuiltinKind::Min => Ok(LibValue::Int(arg(0).min(arg(1)))),
+        BuiltinKind::Max => Ok(LibValue::Int(arg(0).max(arg(1)))),
+    }
+}
+
+/// Validates a length argument for `memset`/`memcpy`.
+fn checked_len(builtin: &'static str, n: i64) -> Result<u32, RuntimeError> {
+    if !(0..=0x1000_0000).contains(&n) {
+        Err(RuntimeError::BadBuiltinArgument { builtin, value: n })
+    } else {
+        Ok(n as u32)
+    }
+}

@@ -6,9 +6,16 @@
 //! behind the paper's Fig. 4 example, where `ptr += 100` advances 100 bytes
 //! and the resulting affine coefficient over the outer `while` iterator
 //! becomes 103.
+//!
+//! The pointee type is interned behind an [`Rc`], so copying a pointer value
+//! (the single most common operation in the tree-walking oracle) is a
+//! reference-count bump rather than a deep [`Type`] clone. The compiled VM
+//! goes further and replaces the `Rc` with a dense table index (see
+//! `crate::bytecode::VmValue`).
 
 use minic::Type;
 use std::fmt;
+use std::rc::Rc;
 
 /// A runtime value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,7 +27,7 @@ pub enum Value {
         /// Byte address.
         addr: u32,
         /// Pointee type, used to scale arithmetic and type loads.
-        pointee: Type,
+        pointee: Rc<Type>,
     },
 }
 
@@ -31,8 +38,8 @@ impl Value {
     }
 
     /// Makes a typed pointer.
-    pub fn ptr(addr: u32, pointee: Type) -> Value {
-        Value::Ptr { addr, pointee }
+    pub fn ptr(addr: u32, pointee: impl Into<Rc<Type>>) -> Value {
+        Value::Ptr { addr, pointee: pointee.into() }
     }
 
     /// Numeric view: pointers expose their address.
@@ -54,9 +61,17 @@ impl Value {
     /// and integers assigned to scalar slots stay integers.
     pub fn coerce_to(self, ty: &Type) -> Value {
         match ty {
-            Type::Ptr(pointee) => {
-                Value::Ptr { addr: self.as_int() as u32, pointee: (**pointee).clone() }
-            }
+            Type::Ptr(pointee) => match self {
+                // Already a pointer of the declared pointee: keep the
+                // interned Rc instead of cloning the type.
+                Value::Ptr { addr, pointee: p } if *p == **pointee => {
+                    Value::Ptr { addr, pointee: p }
+                }
+                other => Value::Ptr {
+                    addr: other.as_int() as u32,
+                    pointee: Rc::new((**pointee).clone()),
+                },
+            },
             Type::Int => Value::Int(self.as_int() as i32 as i64),
             Type::Char => Value::Int(self.as_int() as u8 as i64),
         }
@@ -95,6 +110,17 @@ mod tests {
         let p = Value::ptr(0x1000, Type::Char);
         let q = p.coerce_to(&Type::ptr_to(Type::Int));
         assert_eq!(q, Value::ptr(0x1000, Type::Int));
+    }
+
+    #[test]
+    fn coercion_same_pointee_is_identity() {
+        let p = Value::ptr(0x2000, Type::Int);
+        let Value::Ptr { pointee: before, .. } = p.clone() else { unreachable!() };
+        let q = p.coerce_to(&Type::ptr_to(Type::Int));
+        let Value::Ptr { pointee: after, .. } = &q else { unreachable!() };
+        // The interned Rc is reused, not reallocated.
+        assert!(Rc::ptr_eq(&before, after));
+        assert_eq!(q, Value::ptr(0x2000, Type::Int));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! | [`gsmc`] | LPC speech encoder | argument-offset windows, partial affine LTP, small filtered arrays |
 //! | [`adpcmc`] | IMA ADPCM coder | one `while` loop, one pointer-walk reference, data-dependent tables |
 //!
+//! A seventh program extends the corpus beyond the paper's set:
+//!
+//! | Workload | Algorithm | Character |
+//! |---|---|---|
+//! | [`histoc`] | histogram equalization | indirect `hist[image[i]]` updates — the data-dependent partial-affine probe |
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -33,6 +39,7 @@
 pub mod adpcmc;
 pub mod fftc;
 pub mod gsmc;
+pub mod histoc;
 pub mod input;
 pub mod jpegc;
 pub mod lamec;
@@ -109,7 +116,8 @@ impl Workload {
     }
 }
 
-/// All six workloads at the given size.
+/// All workloads at the given size: the six MiBench analogues plus the
+/// data-dependent irregular probe (`histoc`).
 pub fn all(params: Params) -> Vec<Workload> {
     vec![
         jpegc::workload(params),
@@ -118,6 +126,7 @@ pub fn all(params: Params) -> Vec<Workload> {
         fftc::workload(params),
         gsmc::workload(params),
         adpcmc::workload(params),
+        histoc::workload(params),
     ]
 }
 
@@ -133,9 +142,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_named_consistently() {
         let ws = all(Params::default());
-        assert_eq!(ws.len(), 6);
+        assert_eq!(ws.len(), 7);
         let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
-        assert_eq!(names, vec!["jpegc", "lamec", "susanc", "fftc", "gsmc", "adpcmc"]);
+        assert_eq!(names, vec!["jpegc", "lamec", "susanc", "fftc", "gsmc", "adpcmc", "histoc"]);
         for n in names {
             assert!(by_name(n, Params::default()).is_some());
         }

@@ -89,8 +89,15 @@ fn explored_points_match_direct_sequential_solves() {
 #[test]
 fn corpus_exploration_shares_work_and_passes_the_ci_invariants() {
     let result = foray_bench::dse_space(Params::default()).explore(0).expect("corpus explores");
-    assert_eq!(result.workloads, vec!["jpegc", "lamec", "susanc", "fftc", "gsmc", "adpcmc"]);
-    assert_eq!(result.stats.enumerations, 6, "enumeration must run once per workload");
+    assert_eq!(
+        result.workloads,
+        vec!["jpegc", "lamec", "susanc", "fftc", "gsmc", "adpcmc", "histoc"]
+    );
+    assert_eq!(
+        result.stats.enumerations,
+        result.workloads.len() as u64,
+        "enumeration must run once per workload"
+    );
     assert_eq!(
         result.stats.plans,
         (result.workloads.len() * result.models.len()) as u64,

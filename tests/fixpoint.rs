@@ -166,5 +166,5 @@ fn workload_models_re_execute() {
         assert!(full_out >= full_in.min(1), "{}: full refs vanished", w.name);
         checked += 1;
     }
-    assert_eq!(checked, 6);
+    assert_eq!(checked as usize, foray_workloads::all(foray_workloads::Params::default()).len());
 }

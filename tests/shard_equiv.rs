@@ -114,7 +114,7 @@ proptest! {
     }
 }
 
-// ---------- the six workloads, scale 1 and 2 ----------
+// ---------- the workload corpus, scale 1 and 2 ----------
 
 #[test]
 fn workloads_analyze_identically_under_sharding_at_scale_1_and_2() {

@@ -10,7 +10,7 @@
 //! * corruption: truncation at every structural boundary, bad magic,
 //!   future versions, and flipped payload bytes are all rejected with
 //!   typed errors, never mis-decoded;
-//! * the six workloads: profile once, write the trace file, re-analyze
+//! * the workload corpus: profile once, write the trace file, re-analyze
 //!   from the file sequentially and sharded (K ∈ {1, auto}) and require
 //!   equality with the online in-RAM analysis — model code included — plus
 //!   the `analyze_trace_files` batch fan-out.
