@@ -1,0 +1,277 @@
+//! `fused_exec` — fused profile-and-analyze overhead report.
+//!
+//! The ROADMAP's streaming goal: analysis should ride the simulation at a
+//! small constant factor over bare execution, in bounded memory. This bin
+//! measures one corpus workload four ways:
+//!
+//! * **bare** — simulation into a [`minic_trace::NullSink`]: the floor
+//!   every other row is judged against;
+//! * **sequential** — the online [`foray::Analyzer`] as the sink (the
+//!   paper's constant-space mode);
+//! * **streaming** — [`foray::shard::analyze_streaming_with`]: K shard
+//!   workers consuming routed blocks over bounded channels while the VM
+//!   runs (the fused pipeline this report exists to police);
+//! * **buffered** — the legacy [`foray::ShardedAnalyzer`] that holds the
+//!   whole routed stream before fanning out (the A/B baseline).
+//!
+//! All three analysis rows are asserted byte-identical before anything is
+//! reported, and the streaming row's buffered-record high-water mark is
+//! asserted against its configured ceiling. Writes a machine-readable
+//! `foray-fused-bench/v1` JSON report (CI uploads it as `BENCH_fused.json`).
+//!
+//! ```text
+//! cargo run --release -p foray-bench --bin fused_exec -- \
+//!     [--workload NAME] [--scale N] [--iters N] [--quick] [--jobs N] \
+//!     [--block N] [--json PATH] [--check-overhead X]
+//! ```
+//!
+//! `--check-overhead X` exits non-zero if streaming profile+analyze costs
+//! more than `X` times bare execution — the CI gate on the fused pipeline.
+
+use foray::shard::analyze_streaming_with;
+use foray::{Analysis, Analyzer, AnalyzerConfig, ShardedAnalyzer};
+use foray_workloads::Params;
+use minic_trace::NullSink;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    workload: String,
+    scale: u32,
+    iters: u32,
+    jobs: usize,
+    block: usize,
+    json: Option<String>,
+    check_overhead: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default to two shard workers, not auto: every checkpoint is broadcast
+    // to every shard, so routed volume grows linearly with K while the
+    // producer can only feed so many workers. On corpus-scale traces two
+    // workers already hide the analysis behind the VM; `--jobs 0` asks for
+    // one worker per core anyway.
+    let mut args = Args {
+        workload: "fftc".to_owned(),
+        scale: 2,
+        iters: 20,
+        jobs: 2,
+        block: 0,
+        json: None,
+        check_overhead: None,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => args.workload = need(&mut it, "--workload")?,
+            "--scale" => {
+                args.scale =
+                    need(&mut it, "--scale")?.parse().map_err(|_| "bad --scale".to_owned())?;
+            }
+            "--iters" => {
+                args.iters =
+                    need(&mut it, "--iters")?.parse().map_err(|_| "bad --iters".to_owned())?;
+            }
+            // One round is ~20 ms on corpus workloads, so "quick" can
+            // still afford enough rounds for best-of to shake off
+            // shared-runner scheduling noise in the overhead ratio.
+            "--quick" => args.iters = 12,
+            "--jobs" => {
+                args.jobs =
+                    need(&mut it, "--jobs")?.parse().map_err(|_| "bad --jobs".to_owned())?;
+            }
+            "--block" => {
+                args.block =
+                    need(&mut it, "--block")?.parse().map_err(|_| "bad --block".to_owned())?;
+            }
+            "--json" => args.json = Some(need(&mut it, "--json")?),
+            "--check-overhead" => {
+                args.check_overhead = Some(
+                    need(&mut it, "--check-overhead")?
+                        .parse()
+                        .map_err(|_| "bad --check-overhead".to_owned())?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.iters == 0 {
+        return Err("--iters must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+struct Row {
+    mode: &'static str,
+    seconds: Duration,
+    overhead: f64,
+}
+
+/// Time one run, folding it into a best-so-far. The modes are measured
+/// round-robin (bare, sequential, streaming, buffered, repeat) rather
+/// than block-by-block, so a slow scheduling window on a shared machine
+/// inflates every mode's sample equally instead of skewing one ratio.
+fn timed<T>(best: &mut Duration, run: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let value = run();
+    *best = (*best).min(start.elapsed());
+    value
+}
+
+fn json_report(
+    args: &Args,
+    shards: usize,
+    records: u64,
+    bare: Duration,
+    rows: &[Row],
+    stats: foray::StreamStats,
+) -> String {
+    // Hand-rolled JSON, like every report in this workspace: the build is
+    // offline and dependency-free by construction.
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"foray-fused-bench/v1\",\n");
+    let _ = writeln!(s, "  \"workload\": \"{}\",", args.workload);
+    let _ = writeln!(s, "  \"scale\": {},", args.scale);
+    let _ = writeln!(s, "  \"iters\": {},", args.iters);
+    let _ = writeln!(s, "  \"shards\": {shards},");
+    let _ = writeln!(s, "  \"records\": {records},");
+    let _ = writeln!(s, "  \"bare_seconds\": {:.6},", bare.as_secs_f64());
+    s.push_str("  \"modes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(s, "\"mode\": \"{}\", ", r.mode);
+        let _ = write!(s, "\"seconds\": {:.6}, ", r.seconds.as_secs_f64());
+        let _ = write!(s, "\"overhead_vs_bare\": {:.3}", r.overhead);
+        s.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"peak_buffered_records\": {},", stats.peak_buffered_records);
+    let _ = writeln!(s, "  \"max_buffered_records\": {}", stats.max_buffered_records);
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: fused_exec [--workload NAME] [--scale N] [--iters N] [--quick] \
+                 [--jobs N] [--block N] [--json PATH] [--check-overhead X]"
+            );
+            std::process::exit(1);
+        }
+    };
+    let params = Params { scale: args.scale };
+    let Some(w) = foray_workloads::by_name(&args.workload, params) else {
+        eprintln!("error: unknown workload `{}`", args.workload);
+        std::process::exit(1);
+    };
+    let prog = w.frontend().expect("workload compiles");
+    let sim = minic_sim::SimConfig::default();
+    let mut config = AnalyzerConfig { shards: args.jobs, ..AnalyzerConfig::default() };
+    if args.block > 0 {
+        config.stream.block_records = args.block;
+    }
+    let shards = foray::resolve_shards(config.shards);
+
+    println!(
+        "fused_exec: {} at scale {} on {} shard workers (best of {} iters)",
+        w.name, args.scale, shards, args.iters
+    );
+
+    let (mut bare, mut seq_time, mut stream_time, mut buf_time) =
+        (Duration::MAX, Duration::MAX, Duration::MAX, Duration::MAX);
+    let (mut records, mut last) = (0u64, None);
+    for _ in 0..args.iters {
+        records = timed(&mut bare, || {
+            let mut sink = NullSink;
+            let outcome = minic_sim::run_with_sink(&prog, &sim, &w.inputs, &mut sink)
+                .expect("workload runs bare");
+            outcome.accesses + outcome.checkpoints
+        });
+        let sequential = timed(&mut seq_time, || {
+            let mut analyzer = Analyzer::with_config(config.clone());
+            minic_sim::run_with_sink(&prog, &sim, &w.inputs, &mut analyzer)
+                .expect("workload runs sequentially");
+            analyzer.into_analysis()
+        });
+        let (streaming, stats) = timed(&mut stream_time, || {
+            let (analysis, _, stats) = analyze_streaming_with(&config, |mut sink| {
+                minic_sim::run_with_sink(&prog, &sim, &w.inputs, &mut sink)
+            })
+            .expect("workload runs streaming");
+            (analysis, stats)
+        });
+        let buffered = timed(&mut buf_time, || {
+            let mut sharded = ShardedAnalyzer::with_config(config.clone());
+            minic_sim::run_with_sink(&prog, &sim, &w.inputs, &mut sharded)
+                .expect("workload runs buffered");
+            sharded.into_analysis()
+        });
+        last = Some((sequential, streaming, buffered, stats));
+    }
+    let (sequential, streaming, buffered, stats) = last.expect("iters >= 1");
+
+    assert_eq!(streaming, sequential, "streaming must be byte-identical to sequential");
+    assert_eq!(buffered, sequential, "buffered must be byte-identical to sequential");
+    assert!(
+        stats.peak_buffered_records <= stats.max_buffered_records,
+        "peak buffered records {} over the configured ceiling {}",
+        stats.peak_buffered_records,
+        stats.max_buffered_records
+    );
+    let _: &Analysis = &sequential;
+
+    let overhead = |d: Duration| d.as_secs_f64() / bare.as_secs_f64();
+    let rows = [
+        Row { mode: "sequential", seconds: seq_time, overhead: overhead(seq_time) },
+        Row { mode: "streaming", seconds: stream_time, overhead: overhead(stream_time) },
+        Row { mode: "buffered", seconds: buf_time, overhead: overhead(buf_time) },
+    ];
+    let table = foray_bench::render_table(
+        &["mode", "records", "time", "vs bare"],
+        &std::iter::once(vec![
+            "bare".to_owned(),
+            foray_bench::human(records),
+            format!("{:.1} ms", bare.as_secs_f64() * 1e3),
+            "1.00x".to_owned(),
+        ])
+        .chain(rows.iter().map(|r| {
+            vec![
+                r.mode.to_owned(),
+                foray_bench::human(records),
+                format!("{:.1} ms", r.seconds.as_secs_f64() * 1e3),
+                format!("{:.2}x", r.overhead),
+            ]
+        }))
+        .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!(
+        "streaming buffered {} of {} records max ({} peak)",
+        stats.max_buffered_records, records, stats.peak_buffered_records
+    );
+
+    if let Some(path) = &args.json {
+        let report = json_report(&args, shards, records, bare, &rows, stats);
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} (foray-fused-bench/v1)");
+    }
+    if let Some(max) = args.check_overhead {
+        let got = rows[1].overhead;
+        if got > max {
+            eprintln!("FAIL: streaming overhead {got:.2}x is above the {max:.2}x gate");
+            std::process::exit(3);
+        }
+        println!("check passed: {got:.2}x <= {max:.2}x");
+    }
+}

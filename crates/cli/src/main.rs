@@ -25,7 +25,7 @@
 //!
 //! Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime error.
 
-use foray::{AnalyzerConfig, Engine, FilterConfig, ForayGen, ForayModel};
+use foray::{AnalyzerConfig, Engine, FilterConfig, ForayGen, ForayModel, SampleSpec};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -71,8 +71,15 @@ program sources (model/report/trace/spm):
                    --scale N sizes it
 
 analysis flags (model/report/spm/trace analyze):
-  --sharded   analyze the trace on K parallel shard workers (identical output)
+  --sharded   analyze on K parallel shard workers fed over bounded channels
+              while profiling runs (identical output, bounded memory)
   --jobs N    shard/worker count for --sharded (default: available parallelism)
+
+sampling (model/report/spm/trace, trace record, trace analyze):
+  --sample S  deterministic access sampling: every:N | warmup:N |
+              reservoir:N[:SEED] | full (default); checkpoints always pass,
+              and the same program + spec yields the same model for any
+              worker count
 
 profiling flags (model/report/trace/spm):
   --engine E  execution engine: `vm` (compiled bytecode, default) or `tree`
@@ -125,6 +132,7 @@ struct Options {
     sharded: bool,
     jobs: usize,
     engine: Engine,
+    sample: SampleSpec,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -142,6 +150,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         sharded: false,
         jobs: 0,
         engine: Engine::default(),
+        sample: SampleSpec::default(),
     };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -161,6 +170,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 opts.engine = Engine::parse(&name).ok_or_else(|| {
                     CliError::Usage(format!("unknown engine `{name}` (use `tree` or `vm`)"))
                 })?;
+            }
+            "--sample" => {
+                let spec = need(&mut it, "--sample")?;
+                opts.sample = SampleSpec::parse(&spec)
+                    .map_err(|e| CliError::Usage(format!("bad --sample: {e}")))?;
             }
             "--workload" => opts.workload = Some(need(&mut it, "--workload")?),
             "--scale" => opts.scale = parse_num(&need(&mut it, "--scale")?)?.max(1) as u32,
@@ -233,7 +247,11 @@ fn pipeline(opts: &Options) -> ForayGen {
     ForayGen::new()
         .filter(FilterConfig { n_exec: opts.n_exec, n_loc: opts.n_loc })
         .inputs(opts.inputs.clone())
-        .analyzer(AnalyzerConfig { shards: opts.jobs, ..AnalyzerConfig::default() })
+        .analyzer(AnalyzerConfig {
+            shards: opts.jobs,
+            sample: opts.sample,
+            ..AnalyzerConfig::default()
+        })
         .sharded(opts.sharded)
         .engine(opts.engine)
 }
@@ -295,6 +313,7 @@ fn cmd_trace(src: &str, opts: &Options) -> Result<(), CliError> {
     let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
     let (_, records) = minic_sim::run(&prog, &sim_config(opts), &opts.inputs)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let records = apply_sampling(records, opts.sample);
     let bytes = match opts.format.as_str() {
         "text" => minic_trace::text::to_text(&records).into_bytes(),
         "binary" => minic_trace::binary::to_bytes(&records),
@@ -312,9 +331,25 @@ fn cmd_trace(src: &str, opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Thins a dumped record stream per `--sample` (identity specs pass the
+/// vector through untouched).
+fn apply_sampling(records: Vec<minic_trace::Record>, spec: SampleSpec) -> Vec<minic_trace::Record> {
+    use minic_trace::TraceSink as _;
+    if spec.is_identity() {
+        return records;
+    }
+    let mut sink = minic_trace::SampleSink::new(spec, minic_trace::VecSink::new());
+    for r in &records {
+        sink.record(r);
+    }
+    sink.finish();
+    sink.into_inner().into_records()
+}
+
 /// `trace record`: profile the program with a [`minic_trace::TraceWriter`]
-/// riding the simulation as the sink, so the `foray-trace/v1` file is
-/// written block by block without ever materializing the record stream.
+/// riding the simulation as the sink (behind a `--sample` filter), so the
+/// `foray-trace/v1` file is written block by block without ever
+/// materializing the record stream.
 fn cmd_trace_record(src: &str, opts: &Options) -> Result<(), CliError> {
     let Some(path) = &opts.output else {
         return Err(CliError::Usage("trace record needs -o FILE.ftrace".to_owned()));
@@ -322,14 +357,20 @@ fn cmd_trace_record(src: &str, opts: &Options) -> Result<(), CliError> {
     let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
     let file = std::fs::File::create(path)?;
     let mut writer = minic_trace::TraceWriter::new(std::io::BufWriter::new(file));
-    minic_sim::run_with_sink(&prog, &sim_config(opts), &opts.inputs, &mut writer)
+    let mut sink = minic_trace::SampleSink::new(opts.sample, &mut writer);
+    minic_sim::run_with_sink(&prog, &sim_config(opts), &opts.inputs, &mut sink)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let (seen, kept) = (sink.seen(), sink.kept());
+    drop(sink);
     if let Some(e) = writer.io_error() {
         return Err(CliError::Io(std::io::Error::new(e.kind(), e.to_string())));
     }
     let records = writer.records_written();
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!("recorded {records} records to {path} ({bytes} bytes, foray-trace/v1)");
+    if seen != kept {
+        println!("sampled {kept} of {seen} accesses (--sample {})", opts.sample);
+    }
     Ok(())
 }
 
@@ -340,8 +381,9 @@ fn cmd_trace_record(src: &str, opts: &Options) -> Result<(), CliError> {
 ///
 /// The file is streamed through [`minic_trace::TraceReader`] (one block in
 /// memory at a time), so traces bigger than RAM analyze fine — the
-/// sequential analyzer is constant-space, and the sharded sink buffers
-/// only its routed records.
+/// sequential analyzer is constant-space, and `--sharded` pipes bounded
+/// record blocks to workers as they decode (no full-trace buffer on that
+/// path either).
 fn cmd_trace_analyze(opts: &Options) -> Result<(), CliError> {
     if opts.workload.is_some() {
         return Err(CliError::Usage("trace analyze reads a FILE.ftrace, not --workload".into()));
@@ -353,9 +395,10 @@ fn cmd_trace_analyze(opts: &Options) -> Result<(), CliError> {
         .map_err(|e| CliError::Usage(format!("cannot read `{}`: {e}", opts.file)))?;
     let reader = minic_trace::TraceReader::new(std::io::BufReader::new(file))
         .map_err(|e| CliError::Runtime(e.to_string()))?;
-    let config = AnalyzerConfig { shards: opts.jobs, ..AnalyzerConfig::default() };
+    let config =
+        AnalyzerConfig { shards: opts.jobs, sample: opts.sample, ..AnalyzerConfig::default() };
     let analysis = if opts.sharded {
-        foray::analyze_sharded_source(reader, config)
+        foray::analyze_streaming_source(reader, config)
     } else {
         foray::analyze_source_with(reader, config)
     }
@@ -638,6 +681,54 @@ mod tests {
             parse_options(&["x.mc".to_owned(), "--jobs".to_owned()]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn sample_flag_parses_and_runs() {
+        let path = write_temp("sample", PROG);
+        let args: Vec<String> =
+            ["model", path.as_str(), "--sample", "every:2"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&args).is_ok());
+        let parsed = parse_options(&args[1..]).unwrap();
+        assert_eq!(parsed.sample, SampleSpec::EveryNth { n: 2 });
+        // Default is full analysis; malformed specs are usage errors.
+        assert_eq!(parse_options(&["x.mc".to_owned()]).unwrap().sample, SampleSpec::Full);
+        for bad in ["coinflip", "every:0", "every"] {
+            assert!(
+                matches!(
+                    parse_options(&["x.mc".to_owned(), "--sample".to_owned(), bad.to_owned()]),
+                    Err(CliError::Usage(_))
+                ),
+                "--sample {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_record_matches_embedded_sampling() {
+        // Recording a thinned trace and analyzing it in full must equal
+        // analyzing the full trace with the same spec embedded — the
+        // decisions are per-reference, so thinning commutes with analysis.
+        let prog = write_temp("sample_rec", PROG);
+        let ftrace = std::env::temp_dir().join("foray_cli_test_sampled.ftrace");
+        let ftrace_s = ftrace.to_string_lossy().into_owned();
+        let record: Vec<String> =
+            ["trace", "record", prog.as_str(), "-o", &ftrace_s, "--sample", "every:3"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert!(run(&record).is_ok());
+        let file = minic_trace::TraceFile::open(&ftrace).unwrap();
+        let thinned = foray::analyze_source(&file).unwrap();
+        let embedded = ForayGen::new()
+            .analyzer(AnalyzerConfig {
+                sample: SampleSpec::EveryNth { n: 3 },
+                ..AnalyzerConfig::default()
+            })
+            .run_source(PROG)
+            .unwrap();
+        assert_eq!(thinned, embedded.analysis);
+        std::fs::remove_file(&ftrace).ok();
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 use crate::affine::AffineState;
 use crate::looptree::{LoopTree, NodeId};
-use minic_trace::{layout, Access, AccessKind, InstrAddr, Record, RecordSource, TraceSink};
+use minic_trace::{
+    layout, Access, AccessKind, InstrAddr, Record, RecordSource, SampleSpec, SampleState, TraceSink,
+};
 use std::collections::HashMap;
 
 /// How the analyzer finds the reference record for an incoming access.
@@ -26,6 +28,40 @@ pub enum LookupStrategy {
     Linear,
 }
 
+/// Tuning for the pipelined streaming sharded path
+/// ([`crate::shard::analyze_streaming_with`]): how many records one routed
+/// block carries and how many blocks each worker's bounded channel holds.
+///
+/// Peak buffered memory is `shards x block_records x (channel_blocks + 3)`
+/// records (router stubs + a block awaiting hand-off + channel occupancy
+/// plus the block each worker is replaying) — independent of trace length.
+/// When a worker lags, its channel fills and the producer blocks on the
+/// next hand-off: natural backpressure instead of unbounded queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Records per routed block (larger amortizes channel overhead,
+    /// smaller tightens the memory cap and latency).
+    pub block_records: usize,
+    /// Bounded-channel capacity per worker, in blocks.
+    pub channel_blocks: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { block_records: 4096, channel_blocks: 2 }
+    }
+}
+
+impl StreamConfig {
+    /// The worst-case number of records buffered anywhere in the streaming
+    /// pipeline for `shards` workers (see the type docs for the terms).
+    pub fn max_buffered_records(&self, shards: usize) -> u64 {
+        (shards as u64)
+            * (self.block_records.max(1) as u64)
+            * (self.channel_blocks.max(1) as u64 + 3)
+    }
+}
+
 /// Analyzer configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzerConfig {
@@ -38,11 +74,24 @@ pub struct AnalyzerConfig {
     /// auto-detect (the `FORAY_TEST_THREADS` env override, else available
     /// parallelism). The sequential [`Analyzer`] ignores this field.
     pub shards: usize,
+    /// Deterministic access-sampling policy (default: analyze every
+    /// access). Per-reference state means the sampled analysis is
+    /// byte-identical for any shard count; see [`minic_trace::sample`].
+    pub sample: SampleSpec,
+    /// Streaming-pipeline tuning (block size, channel depth); only the
+    /// streaming sharded path reads this.
+    pub stream: StreamConfig,
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
-        AnalyzerConfig { track_footprint: true, lookup: LookupStrategy::Hash, shards: 0 }
+        AnalyzerConfig {
+            track_footprint: true,
+            lookup: LookupStrategy::Hash,
+            shards: 0,
+            sample: SampleSpec::Full,
+            stream: StreamConfig::default(),
+        }
     }
 }
 
@@ -98,6 +147,7 @@ pub struct Analyzer {
     by_key: HashMap<(NodeId, InstrAddr), usize>,
     by_node: HashMap<NodeId, Vec<usize>>,
     config: AnalyzerConfig,
+    sample: SampleState,
     iters_buf: Vec<i64>,
     accesses: u64,
 }
@@ -110,7 +160,8 @@ impl Analyzer {
 
     /// Creates an analyzer with an explicit configuration.
     pub fn with_config(config: AnalyzerConfig) -> Self {
-        Analyzer { config, ..Analyzer::default() }
+        let sample = SampleState::new(config.sample);
+        Analyzer { config, sample, ..Analyzer::default() }
     }
 
     /// Feeds a whole pre-recorded trace (offline mode).
@@ -132,6 +183,13 @@ impl Analyzer {
     }
 
     fn on_access(&mut self, a: &Access) {
+        // Sampling lives here, not in a wrapping sink, so every path —
+        // sequential, buffered sharded, streaming sharded — makes the same
+        // per-reference decisions (rejected accesses create no reference,
+        // keeping the sharded first-observation ordinals aligned too).
+        if !self.sample.accept(a) {
+            return;
+        }
         self.accesses += 1;
         let node = self.tree.current();
         let idx = match self.config.lookup {

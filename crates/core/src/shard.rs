@@ -24,24 +24,74 @@
 //!
 //! Workers run on [`std::thread::scope`] and report results over an mpsc
 //! channel; determinism never depends on completion order.
+//!
+//! Two parallel modes share that contract:
+//!
+//! * **buffered** ([`ShardedAnalyzer`], [`analyze_sharded`]) — collect the
+//!   whole stream, fan out at the end: O(trace) memory, zero-copy replay;
+//! * **streaming** ([`analyze_streaming_with`]) — route bounded blocks to
+//!   workers over backpressured channels *while the producer is still
+//!   running*: O(shards × block) memory, the fused profile-and-analyze
+//!   pipeline the paper's constant-space claim needs at scale.
 
 use crate::analyzer::{Analysis, Analyzer, AnalyzerConfig, RefRecord};
 use crate::looptree::LoopTree;
-use minic_trace::{shard_of, Record, RecordSource, ShardBuffer, ShardingSink, TraceSink};
+use minic_trace::{
+    shard_of, BlockRouter, Record, RecordSource, ShardBuffer, ShardingSink, TraceSink,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
+
+/// Parses a `FORAY_TEST_THREADS`-style worker-count override.
+///
+/// # Errors
+///
+/// A human-readable message when the value cannot name a worker count
+/// (non-numeric, or zero — zero means "auto" only as the *absence* of the
+/// variable, never as its value).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(foray::parse_thread_override("4"), Ok(4));
+/// assert!(foray::parse_thread_override("0").is_err());
+/// assert!(foray::parse_thread_override("many").is_err());
+/// ```
+pub fn parse_thread_override(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => {
+            Err(format!("`{value}` requests zero workers (use >= 1, or unset to auto-detect)"))
+        }
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("`{value}` is not a worker count")),
+    }
+}
 
 /// Resolves a requested shard/worker count: `0` means auto-detect — the
 /// `FORAY_TEST_THREADS` environment override if set (the CI knob for
 /// exercising the sharded path under constrained parallelism), otherwise
 /// [`std::thread::available_parallelism`].
+///
+/// An unusable `FORAY_TEST_THREADS` value (garbage, or `0`) is *not*
+/// silently ignored: it falls back to available parallelism with a
+/// once-per-process warning on stderr, so CI matrix typos surface instead
+/// of quietly running at the wrong width.
 pub fn resolve_shards(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Some(n) = std::env::var("FORAY_TEST_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
-    {
-        if n > 0 {
-            return n;
+    if let Ok(v) = std::env::var("FORAY_TEST_THREADS") {
+        match parse_thread_override(&v) {
+            Ok(n) => return n,
+            Err(msg) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring FORAY_TEST_THREADS: {msg}; \
+                         using available parallelism"
+                    );
+                });
+            }
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -88,9 +138,9 @@ impl ShardRun {
     }
 }
 
-/// Replays a routed per-shard buffer (online mode).
-fn run_shard_buffer(buf: &ShardBuffer, config: &AnalyzerConfig) -> ShardResult {
-    let mut run = ShardRun::new(config);
+/// Replays one routed buffer (a whole shard's stream, or one streamed
+/// block of it) into a [`ShardRun`].
+fn replay_block(run: &mut ShardRun, buf: &ShardBuffer) {
     let mut seqs = buf.access_seqs.iter();
     for rec in &buf.records {
         match rec {
@@ -101,6 +151,12 @@ fn run_shard_buffer(buf: &ShardBuffer, config: &AnalyzerConfig) -> ShardResult {
             }
         }
     }
+}
+
+/// Replays a routed per-shard buffer (online buffered mode).
+fn run_shard_buffer(buf: &ShardBuffer, config: &AnalyzerConfig) -> ShardResult {
+    let mut run = ShardRun::new(config);
+    replay_block(&mut run, buf);
     run.finish()
 }
 
@@ -297,6 +353,168 @@ pub fn analyze_sharded_source<Src: RecordSource>(
     Ok(sharded.into_analysis())
 }
 
+/// What the streaming pipeline observed: throughput counters plus the
+/// buffered-record high-water mark against its configured ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Worker count the pipeline ran with (after [`resolve_shards`]).
+    pub shards: usize,
+    /// Total records routed (accesses + checkpoints, each counted once).
+    pub records: u64,
+    /// Total accesses routed (the global ordinal counter).
+    pub accesses: u64,
+    /// High-water mark of records buffered anywhere in the pipeline:
+    /// router stubs + blocks in channels + blocks being replayed.
+    pub peak_buffered_records: u64,
+    /// The configured ceiling
+    /// ([`crate::StreamConfig::max_buffered_records`]); always >=
+    /// `peak_buffered_records` — the regression test in
+    /// `tests/stream_equiv.rs` holds this line.
+    pub max_buffered_records: u64,
+}
+
+/// Pipelined sharded analysis: `produce` pushes records into the sink it
+/// is handed, and K worker threads analyze routed blocks **concurrently
+/// with production** — this is the fused profile-and-analyze mode, where
+/// `produce` is a VM run and the trace never exists as a whole.
+///
+/// Memory is bounded by `config.stream` (see
+/// [`crate::StreamConfig::max_buffered_records`]): full blocks are handed
+/// over *bounded* channels, so when a worker lags the producer blocks on
+/// the hand-off instead of queueing without limit. The result is
+/// byte-identical to sequential [`crate::analyze`] on the same stream for
+/// any worker count — same routing/merge contract as the buffered path
+/// (checkpoint broadcast, ordinal-sorted merge), per-block instead of
+/// per-trace.
+///
+/// Returns the merged analysis, `produce`'s own result, and the
+/// pipeline's [`StreamStats`].
+///
+/// # Errors
+///
+/// Propagates `produce`'s error; workers for the records routed before the
+/// failure are shut down cleanly first.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, Record, TraceSink};
+///
+/// let trace = vec![
+///     Record::checkpoint(0, minic::CheckpointKind::LoopBegin),
+///     Record::checkpoint(0, minic::CheckpointKind::BodyBegin),
+///     Record::access(0x400000, 0x1000_0000, AccessKind::Read),
+///     Record::checkpoint(0, minic::CheckpointKind::BodyEnd),
+/// ];
+/// let config = foray::AnalyzerConfig { shards: 2, ..Default::default() };
+/// let (analysis, n, stats) = foray::shard::analyze_streaming_with(&config, |sink| {
+///     for r in &trace {
+///         sink.record(r);
+///     }
+///     Ok::<_, std::convert::Infallible>(trace.len())
+/// })
+/// .unwrap();
+/// assert_eq!(analysis, foray::analyze(&trace));
+/// assert_eq!(n, 4);
+/// assert!(stats.peak_buffered_records <= stats.max_buffered_records);
+/// ```
+pub fn analyze_streaming_with<R, E>(
+    config: &AnalyzerConfig,
+    produce: impl FnOnce(&mut dyn TraceSink) -> Result<R, E>,
+) -> Result<(Analysis, R, StreamStats), E> {
+    let shards = resolve_shards(config.shards);
+    let block_records = config.stream.block_records.max(1);
+    let channel_blocks = config.stream.channel_blocks.max(1);
+    // Records in flight past the router: sitting in a channel or being
+    // replayed by a worker. The producer adds on hand-off, the worker
+    // subtracts after replay, so `peak_live` + the router's own pending
+    // peak bounds everything ever buffered at once.
+    let live = AtomicU64::new(0);
+    let peak_live = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = mpsc::channel::<ShardResult>();
+        let mut senders = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (block_tx, block_rx) = mpsc::sync_channel::<ShardBuffer>(channel_blocks);
+            senders.push(block_tx);
+            let done = done_tx.clone();
+            let live = &live;
+            scope.spawn(move || {
+                let mut run = ShardRun::new(config);
+                while let Ok(block) = block_rx.recv() {
+                    let n = block.records.len() as u64;
+                    replay_block(&mut run, &block);
+                    live.fetch_sub(n, Ordering::Relaxed);
+                }
+                // Producer dropped its sender: stream over, report in.
+                // A panic above drops `done`; the scope re-raises it.
+                let _ = done.send(run.finish());
+            });
+        }
+        drop(done_tx);
+        let (live, peak_live) = (&live, &peak_live);
+        let mut router = BlockRouter::new(shards, block_records, move |shard, block| {
+            let n = block.records.len() as u64;
+            let now = live.fetch_add(n, Ordering::Relaxed) + n;
+            peak_live.fetch_max(now, Ordering::Relaxed);
+            // Backpressure: blocks here while the worker's channel is full.
+            let _ = senders[shard].send(block);
+        });
+        let produced = produce(&mut router);
+        router.finish();
+        let stats = StreamStats {
+            shards,
+            records: router.records(),
+            accesses: router.accesses(),
+            peak_buffered_records: router.peak_buffered_records() as u64
+                + peak_live.load(Ordering::Relaxed),
+            max_buffered_records: (shards as u64)
+                * (block_records as u64)
+                * (channel_blocks as u64 + 3),
+        };
+        // Dropping the router drops the block senders; workers drain,
+        // finish, and report regardless of whether `produce` succeeded.
+        drop(router);
+        let results: Vec<ShardResult> = done_rx.iter().collect();
+        let value = produced?;
+        Ok((merge(results), value, stats))
+    })
+}
+
+/// Streaming analysis of any [`RecordSource`] in bounded memory
+/// (`config.shards == 0` = auto) — the single-pass alternative to
+/// [`analyze_sharded_source`] for traces too large to buffer.
+///
+/// # Errors
+///
+/// Propagates the source's first decode/read failure.
+pub fn analyze_streaming_source<Src: RecordSource>(
+    source: Src,
+    config: AnalyzerConfig,
+) -> Result<Analysis, Src::Error> {
+    let (analysis, _, _) = analyze_streaming_with(&config, |sink| source.stream_into(sink))?;
+    Ok(analysis)
+}
+
+/// Streaming analysis of a record slice across `shards` workers (`0` =
+/// auto), producing a result identical to [`crate::analyze`].
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, Record};
+///
+/// let trace = vec![Record::access(0x400000, 0x1000_0000, AccessKind::Read)];
+/// assert_eq!(foray::analyze_streaming(&trace, 4), foray::analyze(&trace));
+/// ```
+pub fn analyze_streaming(records: &[Record], shards: usize) -> Analysis {
+    let config = AnalyzerConfig { shards, ..AnalyzerConfig::default() };
+    match analyze_streaming_source(records, config) {
+        Ok(analysis) => analysis,
+        Err(infallible) => match infallible {},
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +586,65 @@ mod tests {
     fn resolve_shards_prefers_explicit_request() {
         assert_eq!(resolve_shards(3), 3);
         assert!(resolve_shards(0) >= 1);
+    }
+
+    #[test]
+    fn thread_override_parses_strictly() {
+        assert_eq!(parse_thread_override("4"), Ok(4));
+        assert_eq!(parse_thread_override(" 2 "), Ok(2), "whitespace is tolerated");
+        for bad in ["0", "", "banana", "-1", "1.5"] {
+            let err = parse_thread_override(bad).unwrap_err();
+            assert!(err.contains(&format!("`{bad}`")), "error names the value: {err}");
+        }
+    }
+
+    #[test]
+    fn streaming_equals_sequential_across_k_and_block_sizes() {
+        use crate::analyzer::StreamConfig;
+        let trace = multi_ref_trace();
+        let sequential = analyze(&trace);
+        for k in [1usize, 2, 3, 7] {
+            for block_records in [1usize, 4, 64, 10_000] {
+                let config = AnalyzerConfig {
+                    shards: k,
+                    stream: StreamConfig { block_records, channel_blocks: 2 },
+                    ..AnalyzerConfig::default()
+                };
+                let (analysis, n, stats) = analyze_streaming_with(&config, |sink| {
+                    for r in &trace {
+                        sink.record(r);
+                    }
+                    Ok::<_, std::convert::Infallible>(trace.len())
+                })
+                .unwrap();
+                assert_eq!(analysis, sequential, "K={k} block={block_records}");
+                assert_eq!(n, trace.len());
+                assert_eq!(stats.shards, k);
+                assert_eq!(stats.accesses, sequential.accesses());
+                assert!(
+                    stats.peak_buffered_records <= stats.max_buffered_records,
+                    "K={k} block={block_records}: peak {} over bound {}",
+                    stats.peak_buffered_records,
+                    stats.max_buffered_records
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_propagates_producer_errors() {
+        let result = analyze_streaming_with(&AnalyzerConfig::default(), |sink| {
+            sink.record(&Record::access(0x40_0000, 0x1000_0000, AccessKind::Read));
+            Err::<(), &str>("simulated producer failure")
+        });
+        assert_eq!(result.err(), Some("simulated producer failure"));
+    }
+
+    #[test]
+    fn streaming_empty_stream_yields_empty_analysis() {
+        let analysis = analyze_streaming(&[], 4);
+        assert_eq!(analysis.refs().len(), 0);
+        assert_eq!(analysis.accesses(), 0);
     }
 
     #[test]

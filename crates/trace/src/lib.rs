@@ -39,6 +39,7 @@ pub mod binary;
 pub mod file;
 pub mod layout;
 pub mod record;
+pub mod sample;
 pub mod shard;
 pub mod sink;
 pub mod source;
@@ -48,7 +49,8 @@ pub mod text;
 pub use binary::{DecodeError, DecodeReason, RecordReader};
 pub use file::{ReadError, TraceFile, TraceReader, TraceWriter};
 pub use record::{Access, AccessKind, InstrAddr, MemAddr, Record};
-pub use shard::{shard_of, ShardBuffer, ShardingSink};
+pub use sample::{SampleSink, SampleSpec, SampleState, DEFAULT_SAMPLE_SEED};
+pub use shard::{shard_of, BlockRouter, ShardBuffer, ShardingSink};
 pub use sink::{CountingSink, NullSink, TeeSink, TraceSink, VecSink};
 pub use source::RecordSource;
 pub use stats::TraceStats;

@@ -121,6 +121,150 @@ impl TraceSink for ShardingSink {
     }
 }
 
+/// Routes a record stream into **bounded** per-shard blocks, handing each
+/// block to a consumer callback the moment it fills (and flushing stubs at
+/// [`TraceSink::finish`]).
+///
+/// This is the streaming sibling of [`ShardingSink`]: same routing rule
+/// (checkpoints broadcast, accesses partitioned by instruction address,
+/// global access ordinals), but memory is capped at
+/// `shards x block_records` pending records instead of the whole trace —
+/// the consumer (typically a bounded channel to a worker thread, see
+/// `foray::shard::analyze_streaming_with`) sees the identical per-shard
+/// record sequence, just chopped into blocks.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, BlockRouter, Record, ShardBuffer, TraceSink};
+///
+/// let mut blocks: Vec<(usize, ShardBuffer)> = Vec::new();
+/// let mut router = BlockRouter::new(2, 3, |shard, block| blocks.push((shard, block)));
+/// for i in 0..8 {
+///     router.record(&Record::access(0x400000, 0x1000 + i, AccessKind::Read));
+/// }
+/// router.finish();
+/// drop(router); // releases the borrow on `blocks`
+/// // All accesses of one instruction land on one shard, in order.
+/// let total: usize = blocks.iter().map(|(_, b)| b.records.len()).sum();
+/// assert_eq!(total, 8);
+/// assert!(blocks.iter().all(|(_, b)| b.records.len() <= 3));
+/// ```
+#[derive(Debug)]
+pub struct BlockRouter<F: FnMut(usize, ShardBuffer)> {
+    pending: Vec<ShardBuffer>,
+    block_records: usize,
+    seq: u64,
+    records: u64,
+    buffered: usize,
+    peak_buffered: usize,
+    emit: F,
+}
+
+impl<F: FnMut(usize, ShardBuffer)> BlockRouter<F> {
+    /// Creates a router for `shards` consumers emitting blocks of up to
+    /// `block_records` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `block_records` is zero.
+    pub fn new(shards: usize, block_records: usize, emit: F) -> Self {
+        assert!(shards > 0, "shard count must be non-zero");
+        assert!(block_records > 0, "block size must be non-zero");
+        BlockRouter {
+            pending: (0..shards).map(|_| fresh_block(block_records)).collect(),
+            block_records,
+            seq: 0,
+            records: 0,
+            buffered: 0,
+            peak_buffered: 0,
+            emit,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total accesses routed so far (the ordinal counter).
+    pub fn accesses(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total records routed so far (accesses + broadcast checkpoint
+    /// copies counted once per arrival, not per shard).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records currently sitting in not-yet-emitted blocks.
+    pub fn buffered_records(&self) -> usize {
+        self.buffered
+    }
+
+    /// High-water mark of [`Self::buffered_records`] — by construction at
+    /// most `shards x block_records`.
+    pub fn peak_buffered_records(&self) -> usize {
+        self.peak_buffered
+    }
+
+    #[inline]
+    fn push(&mut self, shard: usize, rec: &Record, seq: Option<u64>) {
+        self.buffered += 1;
+        self.peak_buffered = self.peak_buffered.max(self.buffered);
+        let buf = &mut self.pending[shard];
+        buf.records.push(*rec);
+        if let Some(s) = seq {
+            buf.access_seqs.push(s);
+        }
+        if buf.records.len() >= self.block_records {
+            let full = std::mem::replace(buf, fresh_block(self.block_records));
+            self.buffered -= full.records.len();
+            (self.emit)(shard, full);
+        }
+    }
+}
+
+/// An empty block with its full capacity pre-reserved, so filling it never
+/// reallocates (the routing hot path runs while the VM is executing).
+fn fresh_block(block_records: usize) -> ShardBuffer {
+    ShardBuffer {
+        records: Vec::with_capacity(block_records),
+        access_seqs: Vec::with_capacity(block_records),
+    }
+}
+
+impl<F: FnMut(usize, ShardBuffer)> TraceSink for BlockRouter<F> {
+    fn record(&mut self, rec: &Record) {
+        self.records += 1;
+        match rec {
+            Record::Checkpoint { .. } => {
+                for shard in 0..self.pending.len() {
+                    self.push(shard, rec, None);
+                }
+            }
+            Record::Access(a) => {
+                let shard = shard_of(a.instr, self.pending.len());
+                let seq = self.seq;
+                self.seq += 1;
+                self.push(shard, rec, Some(seq));
+            }
+        }
+    }
+
+    /// Flushes every non-empty pending block (idempotent).
+    fn finish(&mut self) {
+        for shard in 0..self.pending.len() {
+            if !self.pending[shard].records.is_empty() {
+                let stub = std::mem::take(&mut self.pending[shard]);
+                self.buffered -= stub.records.len();
+                (self.emit)(shard, stub);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +341,57 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_shards_rejected() {
         ShardingSink::new(0);
+    }
+
+    /// Concatenating a shard's emitted blocks must reproduce exactly what
+    /// the buffering [`ShardingSink`] would have accumulated for it.
+    #[test]
+    fn block_router_blocks_concatenate_to_the_sharding_sink_buffers() {
+        let trace = sample(40);
+        let shards = 3;
+        let mut buffered = ShardingSink::new(shards);
+        for r in &trace {
+            buffered.record(r);
+        }
+        for block_records in [1usize, 2, 7, 64, 10_000] {
+            let mut streamed = vec![ShardBuffer::default(); shards];
+            let mut max_block = 0usize;
+            let mut router = BlockRouter::new(shards, block_records, |shard, block| {
+                max_block = max_block.max(block.records.len());
+                streamed[shard].records.extend_from_slice(&block.records);
+                streamed[shard].access_seqs.extend_from_slice(&block.access_seqs);
+            });
+            for r in &trace {
+                router.record(r);
+            }
+            router.finish();
+            assert_eq!(router.accesses(), 40);
+            assert_eq!(router.records(), trace.len() as u64);
+            assert_eq!(router.buffered_records(), 0, "finish flushes everything");
+            assert!(router.peak_buffered_records() <= shards * block_records);
+            drop(router);
+            assert!(max_block <= block_records);
+            assert_eq!(streamed, buffered.shards(), "block={block_records}");
+        }
+    }
+
+    #[test]
+    fn block_router_finish_is_idempotent() {
+        let mut emitted = 0usize;
+        let mut router = BlockRouter::new(2, 8, |_, block| emitted += block.records.len());
+        for r in sample(5) {
+            router.record(&r);
+        }
+        router.finish();
+        router.finish();
+        drop(router);
+        // 5 accesses + 11 checkpoints broadcast to both shards = 5 + 22.
+        assert_eq!(emitted, 5 + 2 * 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_rejected() {
+        BlockRouter::new(2, 0, |_, _| {});
     }
 }

@@ -1,0 +1,168 @@
+//! Streaming pipeline lock-down.
+//!
+//! The fused streaming path (`foray::shard::analyze_streaming_with`)
+//! promises three things at once, and this suite pins all of them:
+//!
+//! * **byte-identity** — the pipelined K-worker analysis equals the
+//!   sequential [`foray::analyze`] result on every corpus workload at
+//!   scale 1 and 2, for K ∈ {1, 2, 7, available parallelism};
+//! * **bounded memory** — the buffered-record high-water mark reported
+//!   by [`foray::StreamStats`] never exceeds the configured ceiling,
+//!   even with pathologically tiny blocks, and that ceiling is far
+//!   below the trace length (the whole point of streaming);
+//! * **sampling commutes with sharding** — deterministic sampling
+//!   ([`foray::SampleSpec`]) produces the same thinned analysis no
+//!   matter how many workers run, and the identity specs (`every:1`,
+//!   `warmup:0`) are exactly the full analysis.
+
+use foray::shard::analyze_streaming_with;
+use foray::{analyze, analyze_with, Analysis, AnalyzerConfig, SampleSpec, StreamConfig};
+use foray_workloads::{all, Params};
+use minic::CheckpointKind::{BodyBegin, BodyEnd, LoopBegin};
+use minic_trace::{AccessKind, Record, RecordSource};
+use proptest::prelude::*;
+
+/// Worker counts the equivalence must hold for: degenerate, small,
+/// prime, and whatever the host machine auto-detects.
+fn shard_counts() -> Vec<usize> {
+    let auto = foray::resolve_shards(0);
+    let mut ks = vec![1, 2, 7];
+    if !ks.contains(&auto) {
+        ks.push(auto);
+    }
+    ks
+}
+
+/// Streaming analysis of an in-memory slice, returning the pipeline
+/// stats alongside the analysis so callers can check the memory bound.
+fn stream_with_stats(records: &[Record], config: AnalyzerConfig) -> (Analysis, foray::StreamStats) {
+    match analyze_streaming_with(&config, |sink| records.stream_into(sink)) {
+        Ok((analysis, _, stats)) => (analysis, stats),
+        Err(infallible) => match infallible {},
+    }
+}
+
+// ---------- the workload corpus, scale 1 and 2 ----------
+
+#[test]
+fn workloads_stream_identically_at_scale_1_and_2() {
+    for scale in [1u32, 2] {
+        for w in all(Params { scale }) {
+            let prog = w.frontend().unwrap();
+            let (_, records) =
+                minic_sim::run(&prog, &minic_sim::SimConfig::default(), &w.inputs).unwrap();
+            let seq = analyze(&records);
+            for k in shard_counts() {
+                let config = AnalyzerConfig { shards: k, ..AnalyzerConfig::default() };
+                let (streamed, stats) = stream_with_stats(&records, config);
+                let ctx = format!("{} scale={scale} K={k}", w.name);
+                assert_eq!(streamed, seq, "{ctx}: streaming diverged from sequential");
+                assert_eq!(stats.records, records.len() as u64, "{ctx}: record count");
+                assert!(
+                    stats.peak_buffered_records <= stats.max_buffered_records,
+                    "{ctx}: peak {} over ceiling {}",
+                    stats.peak_buffered_records,
+                    stats.max_buffered_records
+                );
+            }
+        }
+    }
+}
+
+// ---------- bounded memory, even with tiny blocks ----------
+
+/// The regression test for the streaming memory bound: with small blocks
+/// the pipeline must hold only a sliver of the trace at any moment, and
+/// the observed high-water mark must respect the advertised ceiling.
+#[test]
+fn tiny_blocks_stay_within_the_configured_ceiling() {
+    let w = foray_workloads::by_name("fftc", Params { scale: 2 }).unwrap();
+    let prog = w.frontend().unwrap();
+    let (_, records) = minic_sim::run(&prog, &minic_sim::SimConfig::default(), &w.inputs).unwrap();
+    let seq = analyze(&records);
+    let stream = StreamConfig { block_records: 64, channel_blocks: 1 };
+    let config = AnalyzerConfig { shards: 4, stream, ..AnalyzerConfig::default() };
+    let ceiling = stream.max_buffered_records(4);
+    let (streamed, stats) = stream_with_stats(&records, config);
+    assert_eq!(streamed, seq);
+    assert_eq!(stats.max_buffered_records, ceiling);
+    assert!(
+        stats.peak_buffered_records <= ceiling,
+        "peak {} over ceiling {ceiling}",
+        stats.peak_buffered_records
+    );
+    // The bound is what makes this *streaming*: the pipeline held under
+    // 3% of the trace while a buffered analyzer would hold all of it.
+    assert!(
+        ceiling < stats.records / 30,
+        "ceiling {ceiling} is not small next to the {}-record trace",
+        stats.records
+    );
+}
+
+// ---------- sampling commutes with sharding ----------
+
+/// Arbitrary records with instruction addresses drawn from a small pool,
+/// so references accumulate real multi-access state (matching the
+/// `shard_equiv` generator).
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (0u32..8, 0usize..3).prop_map(|(l, k)| {
+            let kind = [LoopBegin, BodyBegin, BodyEnd][k];
+            Record::checkpoint(l, kind)
+        }),
+        (0u32..12, any::<u32>(), any::<bool>()).prop_map(|(site, a, w)| {
+            Record::access(
+                0x40_0000 + 4 * site,
+                a,
+                if w { AccessKind::Write } else { AccessKind::Read },
+            )
+        }),
+    ]
+}
+
+/// Every non-identity sampling mode, parameterized.
+fn arb_sample() -> impl Strategy<Value = SampleSpec> {
+    prop_oneof![
+        (2u64..6).prop_map(|n| SampleSpec::EveryNth { n }),
+        (0u64..24).prop_map(|skip| SampleSpec::Warmup { skip }),
+        (1u64..8, any::<u64>()).prop_map(|(size, seed)| SampleSpec::Reservoir { size, seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sampled_analysis_is_deterministic_across_worker_counts(
+        records in proptest::collection::vec(arb_record(), 0..300),
+        sample in arb_sample(),
+    ) {
+        let seq = analyze_with(
+            &records,
+            AnalyzerConfig { sample, ..AnalyzerConfig::default() },
+        );
+        for k in [1usize, 2, 0] {
+            let config = AnalyzerConfig { shards: k, sample, ..AnalyzerConfig::default() };
+            let (streamed, _) = stream_with_stats(&records, config);
+            prop_assert_eq!(&streamed, &seq, "sample {:?} K={}", sample, k);
+        }
+    }
+
+    #[test]
+    fn identity_sampling_specs_change_nothing(
+        records in proptest::collection::vec(arb_record(), 0..300),
+    ) {
+        let full = analyze(&records);
+        for sample in [SampleSpec::EveryNth { n: 1 }, SampleSpec::Warmup { skip: 0 }] {
+            let seq = analyze_with(
+                &records,
+                AnalyzerConfig { sample, ..AnalyzerConfig::default() },
+            );
+            prop_assert_eq!(&seq, &full, "sequential {:?}", sample);
+            let config = AnalyzerConfig { shards: 2, sample, ..AnalyzerConfig::default() };
+            let (streamed, _) = stream_with_stats(&records, config);
+            prop_assert_eq!(&streamed, &full, "streaming {:?}", sample);
+        }
+    }
+}
