@@ -9,11 +9,17 @@
 //! foray-gen trace <prog.mc> [--format text|binary|framed] [-o FILE]
 //!     profile and dump the raw trace (Fig. 4(c) format)
 //! foray-gen trace record (<prog.mc> | --workload NAME) -o FILE.ftrace
-//!     profile straight into a framed foray-trace/v1 file — the trace is
-//!     streamed block by block, never materialized in memory
+//!         [--trace-format v1|v2]
+//!     profile straight into a framed foray-trace file (v2 by default:
+//!     delta-compressed blocks with CRC32s and a checkpoint index)
+//!     — the trace is streamed block by block, never materialized in
+//!     memory
 //! foray-gen trace analyze <FILE.ftrace> [--sharded] [--jobs N]
+//!         [--from-loop N]
 //!     re-analyze a recorded trace file; prints the same FORAY model the
-//!     in-RAM `model` command prints, byte for byte
+//!     in-RAM `model` command prints, byte for byte. `--from-loop N`
+//!     seeks to loop N via the v2 checkpoint index and analyzes the
+//!     trace suffix from its first checkpoint on
 //! foray-gen annotate <prog.mc>
 //!     print the checkpoint-instrumented source (Fig. 4(b))
 //! foray-gen spm <prog.mc> [--capacity BYTES]
@@ -58,7 +64,9 @@ const USAGE: &str = "usage:
   foray-gen report   <prog.mc> [--nexec N] [--nloc N] [--inputs v,v,..]
   foray-gen trace    <prog.mc> [--format text|binary|framed] [-o FILE] [--inputs v,v,..]
   foray-gen trace record  (<prog.mc> | --workload NAME [--scale N]) -o FILE.ftrace
+                          [--trace-format v1|v2]
   foray-gen trace analyze <FILE.ftrace> [--nexec N] [--nloc N] [--sharded] [--jobs N]
+                          [--from-loop N]
   foray-gen annotate <prog.mc>
   foray-gen spm      <prog.mc> [--capacity BYTES] [--nexec N] [--nloc N] [--inputs v,v,..]
   foray-gen dse      [--workloads all|a,b,..] [--capacities n,n,..] [--models m,m,..]
@@ -74,6 +82,14 @@ analysis flags (model/report/spm/trace analyze):
   --sharded   analyze on K parallel shard workers fed over bounded channels
               while profiling runs (identical output, bounded memory)
   --jobs N    shard/worker count for --sharded (default: available parallelism)
+
+trace file flags:
+  --trace-format v1|v2  container version for `trace record` (default: v2,
+              compressed + checksummed + indexed; v1 is the frozen
+              fixed-width format — both stay readable forever)
+  --from-loop N  for `trace analyze`: seek to loop N via the v2 checkpoint
+              index and analyze from its first checkpoint (needs a v2
+              file written with the index)
 
 sampling (model/report/spm/trace, trace record, trace analyze):
   --sample S  deterministic access sampling: every:N | warmup:N |
@@ -133,6 +149,8 @@ struct Options {
     jobs: usize,
     engine: Engine,
     sample: SampleSpec,
+    trace_format: minic_trace::FormatVersion,
+    from_loop: Option<u32>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -151,6 +169,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         jobs: 0,
         engine: Engine::default(),
         sample: SampleSpec::default(),
+        trace_format: minic_trace::FormatVersion::default(),
+        from_loop: None,
     };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -175,6 +195,18 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let spec = need(&mut it, "--sample")?;
                 opts.sample = SampleSpec::parse(&spec)
                     .map_err(|e| CliError::Usage(format!("bad --sample: {e}")))?;
+            }
+            "--trace-format" => {
+                let name = need(&mut it, "--trace-format")?;
+                opts.trace_format = minic_trace::FormatVersion::parse(&name).ok_or_else(|| {
+                    CliError::Usage(format!("unknown trace format `{name}` (use `v1` or `v2`)"))
+                })?;
+            }
+            "--from-loop" => {
+                let n = parse_num(&need(&mut it, "--from-loop")?)?;
+                opts.from_loop = Some(u32::try_from(n).map_err(|_| {
+                    CliError::Usage(format!("--from-loop {n} does not fit a loop id"))
+                })?);
             }
             "--workload" => opts.workload = Some(need(&mut it, "--workload")?),
             "--scale" => opts.scale = parse_num(&need(&mut it, "--scale")?)?.max(1) as u32,
@@ -319,7 +351,7 @@ fn cmd_trace(src: &str, opts: &Options) -> Result<(), CliError> {
         "binary" => minic_trace::binary::to_bytes(&records),
         "framed" => {
             let mut out = Vec::new();
-            minic_trace::file::write_to(&mut out, &records)?;
+            minic_trace::file::write_to_with(&mut out, &records, opts.trace_format)?;
             out
         }
         other => return Err(CliError::Usage(format!("unknown trace format `{other}`"))),
@@ -348,42 +380,56 @@ fn apply_sampling(records: Vec<minic_trace::Record>, spec: SampleSpec) -> Vec<mi
 
 /// `trace record`: profile the program with a [`minic_trace::TraceWriter`]
 /// riding the simulation as the sink (behind a `--sample` filter), so the
-/// `foray-trace/v1` file is written block by block without ever
-/// materializing the record stream.
+/// `foray-trace` file (`--trace-format`, v2 by default) is written block
+/// by block without ever materializing the record stream.
 fn cmd_trace_record(src: &str, opts: &Options) -> Result<(), CliError> {
     let Some(path) = &opts.output else {
         return Err(CliError::Usage("trace record needs -o FILE.ftrace".to_owned()));
     };
     let prog = minic::frontend(src).map_err(|e| CliError::Compile(e.to_string()))?;
     let file = std::fs::File::create(path)?;
-    let mut writer = minic_trace::TraceWriter::new(std::io::BufWriter::new(file));
+    let mut writer =
+        minic_trace::TraceWriter::with_format(std::io::BufWriter::new(file), opts.trace_format);
     let mut sink = minic_trace::SampleSink::new(opts.sample, &mut writer);
-    minic_sim::run_with_sink(&prog, &sim_config(opts), &opts.inputs, &mut sink)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let run = minic_sim::run_with_sink(&prog, &sim_config(opts), &opts.inputs, &mut sink);
     let (seen, kept) = (sink.seen(), sink.kept());
     drop(sink);
+    if let Err(e) = run {
+        // The writer never reached `finish`: the file on disk is a
+        // footer-less stub every reader rejects. Remove it instead of
+        // leaving a corpse that later `trace analyze` runs trip over.
+        drop(writer);
+        std::fs::remove_file(path).ok();
+        return Err(CliError::Runtime(e.to_string()));
+    }
     if let Some(e) = writer.io_error() {
         return Err(CliError::Io(std::io::Error::new(e.kind(), e.to_string())));
     }
     let records = writer.records_written();
-    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-    println!("recorded {records} records to {path} ({bytes} bytes, foray-trace/v1)");
+    let bytes = std::fs::metadata(path)?.len();
+    println!(
+        "recorded {records} records to {path} ({bytes} bytes, foray-trace/{})",
+        opts.trace_format
+    );
     if seen != kept {
         println!("sampled {kept} of {seen} accesses (--sample {})", opts.sample);
     }
     Ok(())
 }
 
-/// `trace analyze`: replay a recorded `foray-trace/v1` file through the
-/// (optionally sharded) analyzer and print the extracted FORAY model —
-/// byte-identical to what `model` prints for the same program and
-/// thresholds.
+/// `trace analyze`: replay a recorded `foray-trace` file (either format
+/// version) through the (optionally sharded) analyzer and print the
+/// extracted FORAY model — byte-identical to what `model` prints for the
+/// same program and thresholds.
 ///
-/// The file is streamed through [`minic_trace::TraceReader`] (one block in
-/// memory at a time), so traces bigger than RAM analyze fine — the
-/// sequential analyzer is constant-space, and `--sharded` pipes bounded
-/// record blocks to workers as they decode (no full-trace buffer on that
-/// path either).
+/// Without `--from-loop` the file is streamed through
+/// [`minic_trace::TraceReader`] (one block in memory at a time), so traces
+/// bigger than RAM analyze fine — the sequential analyzer is
+/// constant-space, and `--sharded` pipes bounded record blocks to workers
+/// as they decode (no full-trace buffer on that path either). With
+/// `--from-loop N` the file is opened as a [`minic_trace::TraceFile`] and
+/// the v2 checkpoint index seeks straight to loop `N`'s region; only the
+/// trace suffix from its first checkpoint is decoded and analyzed.
 fn cmd_trace_analyze(opts: &Options) -> Result<(), CliError> {
     if opts.workload.is_some() {
         return Err(CliError::Usage("trace analyze reads a FILE.ftrace, not --workload".into()));
@@ -391,16 +437,40 @@ fn cmd_trace_analyze(opts: &Options) -> Result<(), CliError> {
     if opts.file.is_empty() {
         return Err(CliError::Usage("trace analyze needs a FILE.ftrace argument".to_owned()));
     }
-    let file = std::fs::File::open(&opts.file)
-        .map_err(|e| CliError::Usage(format!("cannot read `{}`: {e}", opts.file)))?;
-    let reader = minic_trace::TraceReader::new(std::io::BufReader::new(file))
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
     let config =
         AnalyzerConfig { shards: opts.jobs, sample: opts.sample, ..AnalyzerConfig::default() };
-    let analysis = if opts.sharded {
-        foray::analyze_streaming_source(reader, config)
+    let analysis = if let Some(loop_id) = opts.from_loop {
+        let file = minic_trace::TraceFile::open(&opts.file)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        if file.index().is_none() {
+            return Err(CliError::Runtime(format!(
+                "`{}` is a foray-trace/{} file without a checkpoint index; \
+                 --from-loop needs a v2 file recorded with the index",
+                opts.file,
+                file.version()
+            )));
+        }
+        let Some(records) = file.records_from_loop(minic::LoopId(loop_id)) else {
+            return Err(CliError::Runtime(format!(
+                "loop {loop_id} never runs in `{}` (not covered by the checkpoint index)",
+                opts.file
+            )));
+        };
+        if opts.sharded {
+            foray::analyze_sharded_source(records, config)
+        } else {
+            foray::analyze_source_with(records, config)
+        }
     } else {
-        foray::analyze_source_with(reader, config)
+        let file = std::fs::File::open(&opts.file)
+            .map_err(|e| CliError::Usage(format!("cannot read `{}`: {e}", opts.file)))?;
+        let reader = minic_trace::TraceReader::new(std::io::BufReader::new(file))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        if opts.sharded {
+            foray::analyze_streaming_source(reader, config)
+        } else {
+            foray::analyze_source_with(reader, config)
+        }
     }
     .map_err(|e| CliError::Runtime(e.to_string()))?;
     let model =
@@ -782,6 +852,101 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(run(&analyze).is_ok());
+        std::fs::remove_file(&ftrace).ok();
+    }
+
+    #[test]
+    fn trace_format_flag_selects_the_container_version() {
+        let prog = write_temp("format_flag", PROG);
+        for (flag, want) in
+            [("v1", minic_trace::FormatVersion::V1), ("v2", minic_trace::FormatVersion::V2)]
+        {
+            let ftrace = std::env::temp_dir().join(format!("foray_cli_test_fmt_{flag}.ftrace"));
+            let ftrace_s = ftrace.to_string_lossy().into_owned();
+            let args: Vec<String> =
+                ["trace", "record", prog.as_str(), "-o", &ftrace_s, "--trace-format", flag]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            assert!(run(&args).is_ok(), "--trace-format {flag}");
+            let file = minic_trace::TraceFile::open(&ftrace).unwrap();
+            assert_eq!(file.version(), want, "--trace-format {flag}");
+            // Both versions re-analyze to the same model.
+            let in_ram = ForayGen::new().run_source(PROG).unwrap();
+            assert_eq!(foray::analyze_source(&file).unwrap(), in_ram.analysis);
+            std::fs::remove_file(&ftrace).ok();
+        }
+        // The default is v2; bad names are usage errors.
+        assert_eq!(parse_options(&[]).unwrap().trace_format, minic_trace::FormatVersion::V2);
+        assert!(matches!(
+            parse_options(&["--trace-format".to_owned(), "v3".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn failed_recording_removes_the_partial_file() {
+        // A program that dies mid-run (division by zero) must not leave a
+        // footer-less .ftrace stub behind.
+        let prog = write_temp(
+            "record_crash",
+            "int a[8];\nvoid main() { int i; int z; z = 0; for (i = 0; i < 8; i++) { a[i] = 1 / z; } }",
+        );
+        let ftrace = std::env::temp_dir().join("foray_cli_test_crash.ftrace");
+        std::fs::remove_file(&ftrace).ok();
+        let ftrace_s = ftrace.to_string_lossy().into_owned();
+        let args: Vec<String> = ["trace", "record", prog.as_str(), "-o", &ftrace_s]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Runtime(_))));
+        assert!(!ftrace.exists(), "partial trace file must be removed on runtime error");
+    }
+
+    #[test]
+    fn from_loop_seeks_and_rejects_unseekable_files() {
+        let prog = write_temp("from_loop", PROG);
+        let ftrace = std::env::temp_dir().join("foray_cli_test_from_loop.ftrace");
+        let ftrace_s = ftrace.to_string_lossy().into_owned();
+        let record: Vec<String> = ["trace", "record", prog.as_str(), "-o", &ftrace_s]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&record).is_ok());
+        // Seeking to the program's (only) loop works, sharded or not, and
+        // sees the whole loop: the analysis equals the full replay.
+        let file = minic_trace::TraceFile::open(&ftrace).unwrap();
+        let full = foray::analyze_source(&file).unwrap();
+        let seeked =
+            foray::analyze_source(file.records_from_loop(minic::LoopId(0)).unwrap()).unwrap();
+        assert_eq!(seeked, full);
+        for extra in [None, Some("--sharded")] {
+            let mut args = vec!["trace".to_owned(), "analyze".to_owned(), ftrace_s.clone()];
+            args.extend(["--from-loop".to_owned(), "0".to_owned()]);
+            args.extend(extra.map(str::to_owned));
+            assert!(run(&args).is_ok(), "--from-loop 0 {extra:?}");
+        }
+        // A loop the trace never runs is a runtime error, not silence.
+        let absent: Vec<String> = ["trace", "analyze", &ftrace_s, "--from-loop", "999"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&absent), Err(CliError::Runtime(_))));
+        std::fs::remove_file(&ftrace).ok();
+        // v1 files have no index: --from-loop reports that, it does not scan.
+        let v1: Vec<String> =
+            ["trace", "record", prog.as_str(), "-o", &ftrace_s, "--trace-format", "v1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert!(run(&v1).is_ok());
+        let seek_v1: Vec<String> = ["trace", "analyze", &ftrace_s, "--from-loop", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&seek_v1).unwrap_err();
+        let CliError::Runtime(msg) = err else { panic!("want runtime error, got {err:?}") };
+        assert!(msg.contains("checkpoint index"), "{msg}");
         std::fs::remove_file(&ftrace).ok();
     }
 

@@ -150,20 +150,55 @@ fn trace_file_pipeline_matches_the_in_ram_model() {
     let in_ram = foray_gen(&["model", "--workload", "fftc"]);
     assert!(in_ram.status.success(), "stderr: {}", String::from_utf8_lossy(&in_ram.stderr));
 
-    let record =
-        foray_gen(&["trace", "record", "--workload", "fftc", "-o", ftrace.to_str().unwrap()]);
-    assert!(record.status.success(), "stderr: {}", String::from_utf8_lossy(&record.stderr));
-    let summary = String::from_utf8(record.stdout).unwrap();
-    assert!(summary.contains("foray-trace/v1"), "missing record summary:\n{summary}");
+    let mut sizes = std::collections::HashMap::new();
+    for format in ["v1", "v2"] {
+        let record = foray_gen(&[
+            "trace",
+            "record",
+            "--workload",
+            "fftc",
+            "-o",
+            ftrace.to_str().unwrap(),
+            "--trace-format",
+            format,
+        ]);
+        assert!(record.status.success(), "stderr: {}", String::from_utf8_lossy(&record.stderr));
+        let summary = String::from_utf8(record.stdout).unwrap();
+        assert!(
+            summary.contains(&std::format!("foray-trace/{format}")),
+            "missing record summary:\n{summary}"
+        );
+        sizes.insert(format, std::fs::metadata(&ftrace).unwrap().len());
 
-    let from_file = foray_gen(&["trace", "analyze", ftrace.to_str().unwrap()]);
-    assert!(from_file.status.success(), "stderr: {}", String::from_utf8_lossy(&from_file.stderr));
-    assert_eq!(in_ram.stdout, from_file.stdout, "file-backed model must be byte-identical");
+        let from_file = foray_gen(&["trace", "analyze", ftrace.to_str().unwrap()]);
+        assert!(
+            from_file.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&from_file.stderr)
+        );
+        assert_eq!(
+            in_ram.stdout, from_file.stdout,
+            "{format} file-backed model must be byte-identical"
+        );
 
-    let sharded =
-        foray_gen(&["trace", "analyze", ftrace.to_str().unwrap(), "--sharded", "--jobs", "3"]);
-    assert!(sharded.status.success(), "stderr: {}", String::from_utf8_lossy(&sharded.stderr));
-    assert_eq!(in_ram.stdout, sharded.stdout, "sharded file-backed model must be byte-identical");
+        let sharded =
+            foray_gen(&["trace", "analyze", ftrace.to_str().unwrap(), "--sharded", "--jobs", "3"]);
+        assert!(sharded.status.success(), "stderr: {}", String::from_utf8_lossy(&sharded.stderr));
+        assert_eq!(
+            in_ram.stdout, sharded.stdout,
+            "{format} sharded file-backed model must be byte-identical"
+        );
+    }
+    assert!(
+        sizes["v2"] < sizes["v1"],
+        "compressed v2 ({}) must be smaller than v1 ({})",
+        sizes["v2"],
+        sizes["v1"]
+    );
+    // The v2 file is still on disk: the checkpoint-index seek path runs
+    // end to end through the binary too.
+    let seeked = foray_gen(&["trace", "analyze", ftrace.to_str().unwrap(), "--from-loop", "0"]);
+    assert!(seeked.status.success(), "stderr: {}", String::from_utf8_lossy(&seeked.stderr));
     std::fs::remove_file(&ftrace).ok();
 }
 

@@ -1,24 +1,42 @@
-//! The `foray-trace/v1` on-disk trace container.
+//! The `foray-trace` on-disk trace container (versions 1 and 2).
 //!
 //! The raw [binary codec](crate::binary) is a bare record concatenation: it
 //! cannot be identified on disk, versioned, or validated without decoding
-//! every byte. This module frames it into a self-describing file format so
-//! traces can be recorded once and re-analyzed many times (the paper's
-//! offline mode at scales where re-profiling is the bottleneck):
+//! every byte. This module frames record streams into a self-describing
+//! file format so traces can be recorded once and re-analyzed many times
+//! (the paper's offline mode at scales where re-profiling is the
+//! bottleneck). Two format versions share the 16-byte header:
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"FORAYTRC"
-//! 8       2     format version, u16 LE (this module writes 1)
+//! 8       2     format version, u16 LE (1 or 2)
 //! 10      2     reserved, must be 0
 //! 12      4     writer block-capacity hint in bytes, u32 LE
-//! 16      ..    length-prefixed blocks, then the terminator + footer
+//! 16      ..    length-prefixed blocks, then the terminator + trailer
+//! ```
 //!
+//! **Version 1** (frozen, readable forever) stores fixed-width records:
+//!
+//! ```text
 //! block   4     payload length N in bytes, u32 LE (N = 0 terminates)
 //!         4     record count in this block, u32 LE
-//!         N     payload: concatenated binary records
-//!
+//!         N     payload: concatenated fixed-width binary records
 //! footer  8     total record count, u64 LE (after the N = 0 terminator)
+//! ```
+//!
+//! **Version 2** (the default) compresses each block with the
+//! [length-tagged delta codec](crate::v2), adds a CRC32 per payload, and appends
+//! a [checkpoint index](crate::index) before the footer so readers can
+//! seek to a loop region without replaying the prefix:
+//!
+//! ```text
+//! block   4     payload length N in bytes, u32 LE (N = 0 terminates)
+//!         4     record count in this block, u32 LE
+//!         4     CRC32 of the payload, u32 LE
+//!         N     payload: v2 length-tagged delta records (state resets per block)
+//! index   4     entry count E, u32 LE; then E × 24-byte entries + CRC32
+//! footer  8     total record count, u64 LE
 //! ```
 //!
 //! All integers are little-endian. Blocks make streaming writes cheap (one
@@ -33,28 +51,31 @@
 //!   [`FileRecords`]. This is the memory-mapped shape; the workspace denies
 //!   `unsafe` code, so the buffer comes from one [`std::fs::read`] instead
 //!   of `mmap(2)` — same single-allocation behaviour, no page-cache
-//!   sharing.
+//!   sharing. v2 files additionally expose
+//!   [`TraceFile::records_from_loop`], the seekable entry point.
 //! * [`TraceReader`] — constant-memory streaming over any [`Read`].
 //! * [`TraceWriter`] — a [`TraceSink`], so it can ride a profiling run and
-//!   write the file without ever materializing a `Vec<Record>`.
+//!   write the file without ever materializing a `Vec<Record>`. The
+//!   [`FormatVersion`] knob picks the container version (default v2).
 //!
 //! # Examples
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use minic_trace::file::{TraceFile, TraceWriter};
+//! use minic_trace::file::{FormatVersion, TraceFile, TraceWriter};
 //! use minic_trace::{AccessKind, Record, TraceSink};
 //!
 //! let trace = vec![
 //!     Record::checkpoint(0, minic::CheckpointKind::LoopBegin),
 //!     Record::access(0x400000, 0x1000_0000, AccessKind::Read),
 //! ];
-//! let mut writer = TraceWriter::new(Vec::new());
+//! let mut writer = TraceWriter::new(Vec::new()); // v2 by default
 //! for r in &trace {
 //!     writer.record(r);
 //! }
 //! writer.finish();
 //! let file = TraceFile::from_bytes(writer.into_inner())?;
+//! assert_eq!(file.version(), FormatVersion::V2);
 //! assert_eq!(file.record_count(), 2);
 //! let decoded: Result<Vec<Record>, _> = file.records().collect();
 //! assert_eq!(decoded?, trace);
@@ -62,9 +83,13 @@
 //! # }
 //! ```
 
-use crate::binary::{self, DecodeError, MAX_RECORD_BYTES};
+use crate::binary::{self, DecodeError};
+use crate::crc::crc32;
+use crate::index::{CheckpointIndex, IndexEntry, LoopRange, ENTRY_BYTES};
 use crate::record::Record;
 use crate::sink::TraceSink;
+use crate::v2::{self, V2State};
+use minic::LoopId;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -72,8 +97,8 @@ use std::path::Path;
 /// The 8 magic bytes opening every trace file.
 pub const MAGIC: [u8; 8] = *b"FORAYTRC";
 
-/// The format version this module reads and writes.
-pub const VERSION: u16 = 1;
+/// The newest format version this module writes (and the default).
+pub const VERSION: u16 = 2;
 
 /// Fixed header size: magic + version + reserved + block hint.
 pub const HEADER_BYTES: usize = 16;
@@ -85,6 +110,76 @@ pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
 /// field must not trigger a gigabyte allocation.
 const MAX_BLOCK_BYTES: u32 = 1 << 30;
 
+/// Container version selector for [`TraceWriter`] (readers accept both,
+/// per the versioning contract in `docs/ARCHITECTURE.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FormatVersion {
+    /// Fixed-width records, no checksums, no index. Frozen; readable
+    /// forever.
+    V1,
+    /// Per-block length-tagged delta compression + CRC32 + checkpoint index.
+    #[default]
+    V2,
+}
+
+impl FormatVersion {
+    /// The on-disk `u16` version number.
+    pub const fn number(self) -> u16 {
+        match self {
+            FormatVersion::V1 => 1,
+            FormatVersion::V2 => 2,
+        }
+    }
+
+    /// Maps an on-disk version number back to a known format.
+    pub fn from_number(v: u16) -> Option<FormatVersion> {
+        match v {
+            1 => Some(FormatVersion::V1),
+            2 => Some(FormatVersion::V2),
+            _ => None,
+        }
+    }
+
+    /// CLI spelling (`v1` / `v2`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FormatVersion::V1 => "v1",
+            FormatVersion::V2 => "v2",
+        }
+    }
+
+    /// Parses the CLI spelling accepted by `--trace-format`.
+    pub fn parse(s: &str) -> Option<FormatVersion> {
+        match s {
+            "v1" | "1" => Some(FormatVersion::V1),
+            "v2" | "2" => Some(FormatVersion::V2),
+            _ => None,
+        }
+    }
+
+    /// Size of a block header in this version (v2 adds the CRC field).
+    const fn block_header_bytes(self) -> usize {
+        match self {
+            FormatVersion::V1 => 8,
+            FormatVersion::V2 => 12,
+        }
+    }
+
+    /// Worst-case encoded size of one record in this version.
+    const fn max_record_bytes(self) -> usize {
+        match self {
+            FormatVersion::V1 => binary::MAX_RECORD_BYTES,
+            FormatVersion::V2 => v2::MAX_RECORD_BYTES,
+        }
+    }
+}
+
+impl fmt::Display for FormatVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Why a trace file failed to open or replay.
 #[derive(Debug)]
 pub enum ReadError {
@@ -92,7 +187,8 @@ pub enum ReadError {
     Io(io::Error),
     /// The file does not start with [`MAGIC`].
     BadMagic([u8; 8]),
-    /// The file's format version is newer than this reader.
+    /// The file's format version is not one this reader knows (newer than
+    /// [`VERSION`], or an unknown number like 0).
     UnsupportedVersion(u16),
     /// The reserved header field is non-zero.
     BadHeader,
@@ -111,6 +207,22 @@ pub enum ReadError {
         offset: u64,
         /// The declared payload length.
         len: u32,
+    },
+    /// A v2 block's payload does not match its stored CRC32.
+    BadBlockCrc {
+        /// Byte offset of the block header.
+        offset: u64,
+        /// CRC stored in the block header.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The v2 checkpoint index is corrupt or disagrees with the blocks.
+    BadIndex {
+        /// Byte offset of the index section.
+        offset: u64,
+        /// What is wrong with it.
+        reason: &'static str,
     },
     /// A block's payload decoded to a different number of records than its
     /// header declared.
@@ -137,7 +249,15 @@ impl fmt::Display for ReadError {
             ReadError::Io(e) => write!(f, "trace file i/o: {e}"),
             ReadError::BadMagic(m) => write!(f, "not a foray-trace file (magic {m:02x?})"),
             ReadError::UnsupportedVersion(v) => {
-                write!(f, "unsupported foray-trace version {v} (reader supports {VERSION})")
+                if *v > VERSION {
+                    write!(
+                        f,
+                        "foray-trace version {v} is newer than this reader supports \
+                         (reads 1..={VERSION})"
+                    )
+                } else {
+                    write!(f, "unknown foray-trace version {v} (reader reads 1..={VERSION})")
+                }
             }
             ReadError::BadHeader => write!(f, "corrupt foray-trace header (reserved field set)"),
             ReadError::Truncated { offset, what } => {
@@ -146,6 +266,16 @@ impl fmt::Display for ReadError {
             ReadError::Decode(e) => write!(f, "trace file {e}"),
             ReadError::OversizedBlock { offset, len } => {
                 write!(f, "block at byte {offset} declares an oversized payload ({len} bytes)")
+            }
+            ReadError::BadBlockCrc { offset, stored, computed } => {
+                write!(
+                    f,
+                    "block at byte {offset} fails its integrity check \
+                     (stored crc {stored:#010x}, computed {computed:#010x})"
+                )
+            }
+            ReadError::BadIndex { offset, reason } => {
+                write!(f, "checkpoint index at byte {offset} is corrupt: {reason}")
             }
             ReadError::BlockCountMismatch { offset, declared, decoded } => {
                 write!(f, "block at byte {offset} declares {declared} records but holds {decoded}")
@@ -173,78 +303,131 @@ impl From<io::Error> for ReadError {
     }
 }
 
-fn header_bytes(block_hint: u32) -> [u8; HEADER_BYTES] {
+fn header_bytes(format: FormatVersion, block_hint: u32) -> [u8; HEADER_BYTES] {
     let mut h = [0u8; HEADER_BYTES];
     h[..8].copy_from_slice(&MAGIC);
-    h[8..10].copy_from_slice(&VERSION.to_le_bytes());
+    h[8..10].copy_from_slice(&format.number().to_le_bytes());
     h[12..16].copy_from_slice(&block_hint.to_le_bytes());
     h
 }
 
-/// Validates a header, returning the writer's block-capacity hint.
-fn parse_header(h: &[u8; HEADER_BYTES]) -> Result<u32, ReadError> {
+/// Validates a header, returning the format version and the writer's
+/// block-capacity hint.
+fn parse_header(h: &[u8; HEADER_BYTES]) -> Result<(FormatVersion, u32), ReadError> {
     if h[..8] != MAGIC {
         return Err(ReadError::BadMagic(h[..8].try_into().expect("slice length")));
     }
     let version = u16::from_le_bytes(h[8..10].try_into().expect("slice length"));
-    if version != VERSION {
-        return Err(ReadError::UnsupportedVersion(version));
-    }
+    let format =
+        FormatVersion::from_number(version).ok_or(ReadError::UnsupportedVersion(version))?;
     if h[10..12] != [0, 0] {
         return Err(ReadError::BadHeader);
     }
-    Ok(u32::from_le_bytes(h[12..16].try_into().expect("slice length")))
+    Ok((format, u32::from_le_bytes(h[12..16].try_into().expect("slice length"))))
 }
 
-/// Writes a `foray-trace/v1` file to any [`Write`], buffering records into
-/// length-prefixed blocks.
+/// Writes a `foray-trace` file (v1 or v2) to any [`Write`], buffering
+/// records into length-prefixed blocks.
 ///
 /// `TraceWriter` is a [`TraceSink`], so it can sit directly behind the
 /// profiler: `minic_sim::run_with_sink(&prog, &cfg, &inputs, &mut writer)`
 /// records a trace to disk without ever holding it in memory. Because
 /// [`TraceSink::record`] cannot return errors, I/O failures are latched;
 /// check [`Self::io_error`] after [`Self::finish`].
+///
+/// In v2 mode (the default) each flushed block is delta-compressed
+/// with its own CRC32, and a checkpoint index is accumulated (one entry
+/// per block) and appended at [`Self::finish`] — disable it with
+/// [`Self::with_checkpoint_index`] to shave the trailer from short-lived
+/// files.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     out: W,
+    format: FormatVersion,
     block: Vec<u8>,
     block_records: u32,
     block_cap: usize,
     total: u64,
     error: Option<io::Error>,
     finished: bool,
+    /// v2 delta state, reset at block boundaries.
+    v2_state: V2State,
+    /// File offset where the next block will land (v2 index bookkeeping).
+    out_offset: u64,
+    /// Global ordinal of the current block's first record.
+    block_first_ordinal: u64,
+    /// Loop-id range observed in the current block.
+    loops: LoopRange,
+    /// Accumulated index entries (`None` = disabled or v1).
+    index: Option<Vec<IndexEntry>>,
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Wraps a writer, emitting the file header immediately, with the
-    /// default block capacity.
+    /// Wraps a writer, emitting the file header immediately — the default
+    /// format ([`FormatVersion::V2`]) with the default block capacity.
     pub fn new(out: W) -> Self {
-        TraceWriter::with_block_bytes(out, DEFAULT_BLOCK_BYTES)
+        TraceWriter::with_options(out, FormatVersion::default(), DEFAULT_BLOCK_BYTES)
     }
 
-    /// [`Self::new`] with an explicit block payload capacity, clamped to at
-    /// least one record and to the readers' block sanity bound (a block may
-    /// overshoot the capacity by one record before it flushes, so the upper
-    /// clamp leaves that headroom — every written block stays readable).
+    /// [`Self::new`] with an explicit container version.
+    pub fn with_format(out: W, format: FormatVersion) -> Self {
+        TraceWriter::with_options(out, format, DEFAULT_BLOCK_BYTES)
+    }
+
+    /// [`Self::new`] with an explicit block payload capacity.
     pub fn with_block_bytes(out: W, block_cap: usize) -> Self {
-        let block_cap =
-            block_cap.clamp(MAX_RECORD_BYTES, MAX_BLOCK_BYTES as usize - MAX_RECORD_BYTES);
+        TraceWriter::with_options(out, FormatVersion::default(), block_cap)
+    }
+
+    /// Fully explicit constructor. The capacity is clamped to at least one
+    /// record and to the readers' block sanity bound (a block may overshoot
+    /// the capacity by one record before it flushes, so the upper clamp
+    /// leaves that headroom — every written block stays readable whatever
+    /// capacity the caller asks for).
+    pub fn with_options(out: W, format: FormatVersion, block_cap: usize) -> Self {
+        let max_record = format.max_record_bytes();
+        let block_cap = block_cap.clamp(max_record, MAX_BLOCK_BYTES as usize - max_record);
         let mut w = TraceWriter {
             out,
+            format,
             // Reserve for the common case only; oversized blocks grow
             // organically instead of pre-claiming up to the 1 GiB bound.
-            block: Vec::with_capacity(block_cap.min(DEFAULT_BLOCK_BYTES) + MAX_RECORD_BYTES),
+            block: Vec::with_capacity(block_cap.min(DEFAULT_BLOCK_BYTES) + max_record),
             block_records: 0,
             block_cap,
             total: 0,
             error: None,
             finished: false,
+            v2_state: V2State::default(),
+            out_offset: HEADER_BYTES as u64,
+            block_first_ordinal: 0,
+            loops: LoopRange::default(),
+            index: match format {
+                FormatVersion::V1 => None,
+                FormatVersion::V2 => Some(Vec::new()),
+            },
         };
-        let header = header_bytes(block_cap as u32);
+        let header = header_bytes(format, block_cap as u32);
         if let Err(e) = w.out.write_all(&header) {
             w.error = Some(e);
         }
         w
+    }
+
+    /// Enables or disables the v2 checkpoint index (ignored in v1, where
+    /// no index exists). Call before the first record is flushed; entries
+    /// already accumulated are dropped when disabling.
+    pub fn with_checkpoint_index(mut self, enabled: bool) -> Self {
+        self.index = match (self.format, enabled) {
+            (FormatVersion::V2, true) => Some(self.index.take().unwrap_or_default()),
+            _ => None,
+        };
+        self
+    }
+
+    /// The container version being written.
+    pub fn format(&self) -> FormatVersion {
+        self.format
     }
 
     /// Records written so far.
@@ -271,10 +454,20 @@ impl<W: Write> TraceWriter<W> {
             .out
             .write_all(&len.to_le_bytes())
             .and_then(|()| self.out.write_all(&self.block_records.to_le_bytes()))
+            .and_then(|()| match self.format {
+                FormatVersion::V1 => Ok(()),
+                FormatVersion::V2 => self.out.write_all(&crc32(&self.block).to_le_bytes()),
+            })
             .and_then(|()| self.out.write_all(&self.block));
         if let Err(e) = result {
             self.error = Some(e);
         }
+        let loops = self.loops.take();
+        if let Some(index) = &mut self.index {
+            index.push(IndexEntry::new(self.out_offset, self.block_first_ordinal, loops));
+        }
+        self.out_offset += (self.format.block_header_bytes() + self.block.len()) as u64;
+        self.v2_state = V2State::default();
         self.block.clear();
         self.block_records = 0;
     }
@@ -285,7 +478,18 @@ impl<W: Write> TraceSink for TraceWriter<W> {
         if self.error.is_some() {
             return;
         }
-        binary::encode_record(rec, &mut self.block);
+        if self.block.is_empty() {
+            self.block_first_ordinal = self.total;
+        }
+        match self.format {
+            FormatVersion::V1 => binary::encode_record(rec, &mut self.block),
+            FormatVersion::V2 => {
+                if let Record::Checkpoint { loop_id, .. } = rec {
+                    self.loops.observe(*loop_id);
+                }
+                v2::encode_record(&mut self.v2_state, rec, &mut self.block);
+            }
+        }
         self.block_records += 1;
         self.total += 1;
         if self.block.len() >= self.block_cap {
@@ -293,8 +497,8 @@ impl<W: Write> TraceSink for TraceWriter<W> {
         }
     }
 
-    /// Flushes the last block and writes the terminator + footer.
-    /// Idempotent: later calls are no-ops.
+    /// Flushes the last block and writes the terminator, the index (v2),
+    /// and the footer. Idempotent: later calls are no-ops.
     fn finish(&mut self) {
         if self.finished {
             return;
@@ -304,10 +508,17 @@ impl<W: Write> TraceSink for TraceWriter<W> {
         if self.error.is_some() {
             return;
         }
+        let terminator = [0u8; 12];
         let result = self
             .out
-            .write_all(&0u32.to_le_bytes())
-            .and_then(|()| self.out.write_all(&0u32.to_le_bytes()))
+            .write_all(&terminator[..self.format.block_header_bytes()])
+            .and_then(|()| match self.format {
+                FormatVersion::V1 => Ok(()),
+                FormatVersion::V2 => {
+                    let index = CheckpointIndex::new(self.index.take().unwrap_or_default());
+                    self.out.write_all(&index.encode())
+                }
+            })
             .and_then(|()| self.out.write_all(&self.total.to_le_bytes()))
             .and_then(|()| self.out.flush());
         if let Err(e) = result {
@@ -316,13 +527,17 @@ impl<W: Write> TraceSink for TraceWriter<W> {
     }
 }
 
-/// Writes a complete record slice as a `foray-trace/v1` stream.
+/// Writes a complete record slice as a trace stream in the given format.
 ///
 /// # Errors
 ///
 /// Propagates the first I/O failure.
-pub fn write_to<W: Write>(out: W, records: &[Record]) -> io::Result<u64> {
-    let mut w = TraceWriter::new(out);
+pub fn write_to_with<W: Write>(
+    out: W,
+    records: &[Record],
+    format: FormatVersion,
+) -> io::Result<u64> {
+    let mut w = TraceWriter::with_format(out, format);
     for r in records {
         w.record(r);
     }
@@ -333,8 +548,32 @@ pub fn write_to<W: Write>(out: W, records: &[Record]) -> io::Result<u64> {
     }
 }
 
-/// Writes a complete record slice to a new `foray-trace/v1` file, returning
-/// the record count.
+/// Writes a complete record slice as a trace stream in the default format
+/// ([`FormatVersion::V2`]).
+///
+/// # Errors
+///
+/// Propagates the first I/O failure.
+pub fn write_to<W: Write>(out: W, records: &[Record]) -> io::Result<u64> {
+    write_to_with(out, records, FormatVersion::default())
+}
+
+/// Writes a complete record slice to a new trace file in the given
+/// format, returning the record count.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_file_with<P: AsRef<Path>>(
+    path: P,
+    records: &[Record],
+    format: FormatVersion,
+) -> io::Result<u64> {
+    write_to_with(io::BufWriter::new(std::fs::File::create(path)?), records, format)
+}
+
+/// Writes a complete record slice to a new trace file in the default
+/// format ([`FormatVersion::V2`]), returning the record count.
 ///
 /// # Errors
 ///
@@ -348,7 +587,7 @@ pub fn write_to<W: Write>(out: W, records: &[Record]) -> io::Result<u64> {
 /// file::write_file("trace.ftrace", &recs).unwrap();
 /// ```
 pub fn write_file<P: AsRef<Path>>(path: P, records: &[Record]) -> io::Result<u64> {
-    write_to(io::BufWriter::new(std::fs::File::create(path)?), records)
+    write_file_with(path, records, FormatVersion::default())
 }
 
 /// Maps `read_exact` failures to [`ReadError::Truncated`] when the stream
@@ -369,7 +608,9 @@ fn read_struct<R: Read>(
 }
 
 /// Constant-memory streaming reader over any [`Read`]: holds one block in
-/// memory at a time, whatever the trace length.
+/// memory at a time, whatever the trace length. Reads both container
+/// versions, dispatching on the header (v2 blocks are CRC-verified as
+/// they are loaded).
 ///
 /// # Examples
 ///
@@ -389,6 +630,7 @@ fn read_struct<R: Read>(
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     input: R,
+    format: FormatVersion,
     offset: u64,
     block: Vec<u8>,
     pos: usize,
@@ -396,6 +638,8 @@ pub struct TraceReader<R: Read> {
     block_declared: u32,
     block_decoded: u32,
     total: u64,
+    v2_state: V2State,
+    index: Option<CheckpointIndex>,
     state: ReaderState,
 }
 
@@ -416,9 +660,10 @@ impl<R: Read> TraceReader<R> {
     pub fn new(mut input: R) -> Result<Self, ReadError> {
         let mut header = [0u8; HEADER_BYTES];
         read_struct(&mut input, &mut header, 0, "file header")?;
-        parse_header(&header)?;
+        let (format, _) = parse_header(&header)?;
         Ok(TraceReader {
             input,
+            format,
             offset: HEADER_BYTES as u64,
             block: Vec::new(),
             pos: 0,
@@ -426,8 +671,15 @@ impl<R: Read> TraceReader<R> {
             block_declared: 0,
             block_decoded: 0,
             total: 0,
+            v2_state: V2State::default(),
+            index: None,
             state: ReaderState::Reading,
         })
+    }
+
+    /// The container version being read.
+    pub fn format(&self) -> FormatVersion {
+        self.format
     }
 
     /// Records decoded so far.
@@ -435,8 +687,49 @@ impl<R: Read> TraceReader<R> {
         self.total
     }
 
-    /// Loads the next block; `Ok(false)` means the terminator + footer were
-    /// consumed and the stream is complete.
+    /// The checkpoint index, available once the stream has been fully
+    /// drained (v2 files with an index only; a sequential reader cannot
+    /// seek, but the index still validates and is exposed for callers
+    /// that cache it).
+    pub fn index(&self) -> Option<&CheckpointIndex> {
+        self.index.as_ref()
+    }
+
+    /// Reads and validates the v2 index section, leaving the stream at
+    /// the footer.
+    fn read_index(&mut self) -> Result<(), ReadError> {
+        let section_offset = self.offset;
+        let mut count = [0u8; 4];
+        read_struct(&mut self.input, &mut count, self.offset, "index entry count")?;
+        self.offset += 4;
+        let count = u32::from_le_bytes(count) as usize;
+        // The index holds one entry per block, and every block preceding
+        // it occupies at least a header plus one payload byte — so a
+        // count past that ratio is corrupt, not just large, and must not
+        // trigger a giant allocation.
+        if count as u64 > self.offset / (self.format.block_header_bytes() as u64 + 1) {
+            return Err(ReadError::BadIndex {
+                offset: section_offset,
+                reason: "entry count is implausibly large",
+            });
+        }
+        let len = count * ENTRY_BYTES;
+        let mut entries = vec![0u8; len];
+        read_struct(&mut self.input, &mut entries, self.offset, "index entries")?;
+        self.offset += len as u64;
+        let mut crc = [0u8; 4];
+        read_struct(&mut self.input, &mut crc, self.offset, "index checksum")?;
+        self.offset += 4;
+        let index = CheckpointIndex::parse(&entries, u32::from_le_bytes(crc))
+            .map_err(|reason| ReadError::BadIndex { offset: section_offset, reason })?;
+        if !index.entries().is_empty() {
+            self.index = Some(index);
+        }
+        Ok(())
+    }
+
+    /// Loads the next block; `Ok(false)` means the terminator, trailer,
+    /// and footer were consumed and the stream is complete.
     fn next_block(&mut self) -> Result<bool, ReadError> {
         if self.block_decoded != self.block_declared {
             return Err(ReadError::BlockCountMismatch {
@@ -446,12 +739,17 @@ impl<R: Read> TraceReader<R> {
             });
         }
         let header_offset = self.offset;
-        let mut header = [0u8; 8];
-        read_struct(&mut self.input, &mut header, header_offset, "block header")?;
-        self.offset += 8;
+        let header_len = self.format.block_header_bytes();
+        let mut header = [0u8; 12];
+        read_struct(&mut self.input, &mut header[..header_len], header_offset, "block header")?;
+        self.offset += header_len as u64;
         let len = u32::from_le_bytes(header[..4].try_into().expect("slice length"));
-        let count = u32::from_le_bytes(header[4..].try_into().expect("slice length"));
+        let count = u32::from_le_bytes(header[4..8].try_into().expect("slice length"));
+        let stored_crc = u32::from_le_bytes(header[8..12].try_into().expect("slice length"));
         if len == 0 {
+            if self.format == FormatVersion::V2 {
+                self.read_index()?;
+            }
             let mut footer = [0u8; 8];
             read_struct(&mut self.input, &mut footer, self.offset, "footer")?;
             self.offset += 8;
@@ -466,10 +764,21 @@ impl<R: Read> TraceReader<R> {
         }
         self.block.resize(len as usize, 0);
         read_struct(&mut self.input, &mut self.block, self.offset, "block payload")?;
+        if self.format == FormatVersion::V2 {
+            let computed = crc32(&self.block);
+            if computed != stored_crc {
+                return Err(ReadError::BadBlockCrc {
+                    offset: header_offset,
+                    stored: stored_crc,
+                    computed,
+                });
+            }
+        }
         self.block_base = header_offset;
         self.block_declared = count;
         self.block_decoded = 0;
         self.pos = 0;
+        self.v2_state = V2State::default();
         self.offset += len as u64;
         Ok(true)
     }
@@ -478,11 +787,110 @@ impl<R: Read> TraceReader<R> {
 impl<R: Read> Iterator for TraceReader<R> {
     type Item = Result<Record, ReadError>;
 
+    /// Bulk drain: decodes each block in a tight loop with the consumer
+    /// inlined, instead of paying a `next()` call (and its memory-returned
+    /// `Option<Result<..>>`) per record. `for_each`, `fold`-composing
+    /// adapters like `map`, and the `RecordSource::stream_into` replay
+    /// path `trace analyze` sits on all route through here. Semantics match
+    /// `next()` exactly — the reader fuses after the first error, so the
+    /// closure sees every record up to and including that error and
+    /// nothing after.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, Self::Item) -> B,
+    {
+        let mut acc = init;
+        if self.state != ReaderState::Reading {
+            return acc;
+        }
+        loop {
+            let payload_base = self.block_base + self.format.block_header_bytes() as u64;
+            match self.format {
+                FormatVersion::V1 => {
+                    while self.pos < self.block.len() {
+                        match binary::decode_one(
+                            &self.block[self.pos..],
+                            payload_base + self.pos as u64,
+                        ) {
+                            Ok((rec, len)) => {
+                                self.pos += len;
+                                self.block_decoded += 1;
+                                self.total += 1;
+                                acc = f(acc, Ok(rec));
+                            }
+                            Err(e) => return f(acc, Err(ReadError::Decode(e))),
+                        }
+                    }
+                }
+                FormatVersion::V2 => {
+                    // The counters ride in the accumulator so the loop's
+                    // only per-record memory traffic is the payload and
+                    // the address table (see `v2::decode_fold`).
+                    let ((a, n), err) = v2::decode_fold(
+                        &self.block,
+                        &mut self.pos,
+                        payload_base,
+                        &mut self.v2_state,
+                        (acc, 0u64),
+                        |(a, n), rec| (f(a, Ok(rec)), n + 1),
+                    );
+                    acc = a;
+                    self.block_decoded += n as u32;
+                    self.total += n;
+                    if let Some(e) = err {
+                        return f(acc, Err(ReadError::Decode(e)));
+                    }
+                }
+            }
+            match self.next_block() {
+                Ok(true) => {}
+                Ok(false) => return acc,
+                Err(e) => return f(acc, Err(e)),
+            }
+        }
+    }
+
     fn next(&mut self) -> Option<Self::Item> {
         if self.state != ReaderState::Reading {
             return None;
         }
-        while self.pos == self.block.len() {
+        loop {
+            // Decode the next record in place. Payload offsets are
+            // relative to the block payload start (block_base + header).
+            if self.pos < self.block.len() {
+                let payload_base = self.block_base + self.format.block_header_bytes() as u64;
+                let res = match self.format {
+                    FormatVersion::V1 => {
+                        match binary::decode_one(
+                            &self.block[self.pos..],
+                            payload_base + self.pos as u64,
+                        ) {
+                            Ok((rec, len)) => {
+                                self.pos += len;
+                                Ok(rec)
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                    FormatVersion::V2 => v2::decode_step(
+                        &self.block,
+                        &mut self.pos,
+                        payload_base,
+                        &mut self.v2_state,
+                    ),
+                };
+                match res {
+                    Ok(rec) => {
+                        self.block_decoded += 1;
+                        self.total += 1;
+                        return Some(Ok(rec));
+                    }
+                    Err(e) => {
+                        self.state = ReaderState::Failed;
+                        return Some(Err(ReadError::Decode(e)));
+                    }
+                }
+            }
             match self.next_block() {
                 Ok(true) => {}
                 Ok(false) => {
@@ -495,37 +903,24 @@ impl<R: Read> Iterator for TraceReader<R> {
                 }
             }
         }
-        // Payload offsets are relative to the block payload start
-        // (block_base + the 8-byte block header).
-        let abs = self.block_base + 8 + self.pos as u64;
-        match binary::decode_one(&self.block[self.pos..], abs) {
-            Ok((rec, len)) => {
-                self.pos += len;
-                self.block_decoded += 1;
-                self.total += 1;
-                Some(Ok(rec))
-            }
-            Err(e) => {
-                self.state = ReaderState::Failed;
-                Some(Err(ReadError::Decode(e)))
-            }
-        }
     }
 }
 
-/// A whole `foray-trace/v1` file held in one buffer, decoded zero-copy.
+/// A whole trace file held in one buffer, decoded zero-copy.
 ///
 /// [`Self::open`] performs a single bulk read (the workspace forbids
 /// `unsafe`, so this is the `mmap` stand-in), validates the header and the
-/// block structure up front, and then [`Self::records`] iterates without
-/// further allocation. Structure errors (bad magic, truncation, count
-/// mismatches) surface at open time; only payload decode errors can appear
-/// during iteration.
+/// block structure up front — including every v2 block CRC and the
+/// checkpoint index — and then [`Self::records`] iterates without further
+/// allocation. Structure and integrity errors surface at open time; only
+/// payload decode errors can appear during iteration.
 #[derive(Debug, Clone)]
 pub struct TraceFile {
     bytes: Vec<u8>,
+    format: FormatVersion,
     record_count: u64,
     block_hint: u32,
+    index: Option<CheckpointIndex>,
 }
 
 impl TraceFile {
@@ -542,42 +937,72 @@ impl TraceFile {
     ///
     /// # Errors
     ///
-    /// Any structural [`ReadError`].
+    /// Any structural [`ReadError`] — including [`ReadError::BadBlockCrc`]
+    /// and [`ReadError::BadIndex`] for v2 files, both checked here.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<TraceFile, ReadError> {
         if bytes.len() < HEADER_BYTES {
             return Err(ReadError::Truncated { offset: bytes.len() as u64, what: "file header" });
         }
-        let block_hint = parse_header(bytes[..HEADER_BYTES].try_into().expect("length checked"))?;
-        // Walk the block headers (no payload decoding) to validate the
-        // frame structure and read the footer.
+        let (format, block_hint) =
+            parse_header(bytes[..HEADER_BYTES].try_into().expect("length checked"))?;
+        let header_len = format.block_header_bytes();
+        // Walk the block headers (no payload decoding; v2 payloads are
+        // CRC-checked) to validate the frame structure, remembering each
+        // block's offset and starting ordinal to audit the index against.
         let mut pos = HEADER_BYTES;
         let mut declared_total = 0u64;
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
         loop {
-            let Some(header) = bytes.get(pos..pos + 8) else {
+            let Some(header) = bytes.get(pos..pos + header_len) else {
                 return Err(ReadError::Truncated { offset: pos as u64, what: "block header" });
             };
             let len = u32::from_le_bytes(header[..4].try_into().expect("slice length"));
-            let count = u32::from_le_bytes(header[4..].try_into().expect("slice length"));
+            let count = u32::from_le_bytes(header[4..8].try_into().expect("slice length"));
             if len == 0 {
-                let Some(footer) = bytes.get(pos + 8..pos + 16) else {
-                    return Err(ReadError::Truncated { offset: pos as u64 + 8, what: "footer" });
-                };
-                let declared = u64::from_le_bytes(footer.try_into().expect("slice length"));
-                if declared != declared_total {
-                    return Err(ReadError::CountMismatch { declared, decoded: declared_total });
-                }
+                pos += header_len;
                 break;
             }
             if len > MAX_BLOCK_BYTES {
                 return Err(ReadError::OversizedBlock { offset: pos as u64, len });
             }
-            if bytes.len() < pos + 8 + len as usize {
-                return Err(ReadError::Truncated { offset: pos as u64 + 8, what: "block payload" });
+            let Some(payload) = bytes.get(pos + header_len..pos + header_len + len as usize) else {
+                return Err(ReadError::Truncated {
+                    offset: (pos + header_len) as u64,
+                    what: "block payload",
+                });
+            };
+            if format == FormatVersion::V2 {
+                let stored = u32::from_le_bytes(header[8..12].try_into().expect("slice length"));
+                let computed = crc32(payload);
+                if computed != stored {
+                    return Err(ReadError::BadBlockCrc { offset: pos as u64, stored, computed });
+                }
             }
+            blocks.push((pos as u64, declared_total));
             declared_total += count as u64;
-            pos += 8 + len as usize;
+            pos += header_len + len as usize;
         }
-        Ok(TraceFile { bytes, record_count: declared_total, block_hint })
+        let index = match format {
+            FormatVersion::V1 => None,
+            FormatVersion::V2 => {
+                let (parsed, consumed) = parse_index_section(&bytes, pos, &blocks)?;
+                pos += consumed;
+                parsed
+            }
+        };
+        let Some(footer) = bytes.get(pos..pos + 8) else {
+            return Err(ReadError::Truncated { offset: pos as u64, what: "footer" });
+        };
+        let declared = u64::from_le_bytes(footer.try_into().expect("slice length"));
+        if declared != declared_total {
+            return Err(ReadError::CountMismatch { declared, decoded: declared_total });
+        }
+        Ok(TraceFile { bytes, format, record_count: declared_total, block_hint, index })
+    }
+
+    /// The container version of this file.
+    pub fn version(&self) -> FormatVersion {
+        self.format
     }
 
     /// Total records in the file (from the block headers, validated against
@@ -596,41 +1021,139 @@ impl TraceFile {
         &self.bytes
     }
 
+    /// The checkpoint index (v2 files written with one), validated at
+    /// open time against the actual block offsets and ordinals.
+    pub fn index(&self) -> Option<&CheckpointIndex> {
+        self.index.as_ref()
+    }
+
     /// Iterates the records, decoding zero-copy from the file buffer.
     pub fn records(&self) -> FileRecords<'_> {
         FileRecords {
             bytes: &self.bytes,
             pos: HEADER_BYTES,
-            inner: binary::RecordReader::new(&[]),
+            format: self.format,
+            payload: &[],
+            ppos: 0,
+            v2_state: V2State::default(),
             block_base: HEADER_BYTES as u64,
             block_declared: 0,
             block_decoded: 0,
+            skip_until: None,
             done: false,
         }
     }
+
+    /// Seeks to loop `loop_id` via the checkpoint index: returns an
+    /// iterator positioned at the first block whose loop range covers the
+    /// id, which then skips records until the loop's first checkpoint and
+    /// yields everything from that checkpoint on — without decoding (or
+    /// having CRC-checked block payloads of) the prefix. This is the
+    /// seekable [`RecordSource`](crate::source::RecordSource) entry point.
+    ///
+    /// Returns `None` when the file has no index (v1, or a v2 file
+    /// written with the index disabled) or when no block's range covers
+    /// the loop — i.e. the loop certainly never runs in this trace. A
+    /// range hit is only "possibly present": if the id turns out to be
+    /// absent, the returned iterator skips to the end and yields nothing.
+    pub fn records_from_loop(&self, loop_id: LoopId) -> Option<FileRecords<'_>> {
+        let entry = self.index.as_ref()?.find_loop(loop_id)?;
+        Some(FileRecords {
+            bytes: &self.bytes,
+            pos: usize::try_from(entry.offset).expect("validated block offset"),
+            format: self.format,
+            payload: &[],
+            ppos: 0,
+            v2_state: V2State::default(),
+            block_base: entry.offset,
+            block_declared: 0,
+            block_decoded: 0,
+            skip_until: Some(loop_id),
+            done: false,
+        })
+    }
+}
+
+/// Parses and audits the v2 index section starting at `pos`; returns the
+/// index (if non-empty) and the number of bytes consumed.
+fn parse_index_section(
+    bytes: &[u8],
+    pos: usize,
+    blocks: &[(u64, u64)],
+) -> Result<(Option<CheckpointIndex>, usize), ReadError> {
+    let section = pos as u64;
+    let Some(count_bytes) = bytes.get(pos..pos + 4) else {
+        return Err(ReadError::Truncated { offset: pos as u64, what: "index entry count" });
+    };
+    let count = u32::from_le_bytes(count_bytes.try_into().expect("slice length")) as usize;
+    if count == 0 {
+        // Disabled or empty index: just the count and the empty CRC.
+        let Some(crc) = bytes.get(pos + 4..pos + 8) else {
+            return Err(ReadError::Truncated { offset: pos as u64 + 4, what: "index checksum" });
+        };
+        if u32::from_le_bytes(crc.try_into().expect("slice length")) != crc32(&[]) {
+            return Err(ReadError::BadIndex { offset: section, reason: "index CRC mismatch" });
+        }
+        return Ok((None, 8));
+    }
+    if count != blocks.len() {
+        return Err(ReadError::BadIndex {
+            offset: section,
+            reason: "entry count disagrees with the block count",
+        });
+    }
+    let len = count * ENTRY_BYTES;
+    let Some(entries) = bytes.get(pos + 4..pos + 4 + len) else {
+        return Err(ReadError::Truncated { offset: pos as u64 + 4, what: "index entries" });
+    };
+    let Some(crc) = bytes.get(pos + 4 + len..pos + 8 + len) else {
+        return Err(ReadError::Truncated {
+            offset: (pos + 4 + len) as u64,
+            what: "index checksum",
+        });
+    };
+    let index = CheckpointIndex::parse(entries, u32::from_le_bytes(crc.try_into().expect("len")))
+        .map_err(|reason| ReadError::BadIndex { offset: section, reason })?;
+    for (entry, (offset, ordinal)) in index.entries().iter().zip(blocks) {
+        if entry.offset != *offset || entry.first_ordinal != *ordinal {
+            return Err(ReadError::BadIndex {
+                offset: section,
+                reason: "entry disagrees with the block layout",
+            });
+        }
+    }
+    Ok((Some(index), 8 + len))
 }
 
 /// Zero-copy record iterator over a [`TraceFile`] buffer.
 ///
-/// Decodes each block payload in place with
-/// [`RecordReader`](binary::RecordReader); no per-record or per-block
-/// allocation. Fuses after the first error.
+/// Decodes each block payload in place; no per-record or per-block
+/// allocation. Fuses after the first error. Obtained from
+/// [`TraceFile::records`] (the whole stream) or
+/// [`TraceFile::records_from_loop`] (positioned mid-file by the
+/// checkpoint index).
 #[derive(Debug, Clone)]
 pub struct FileRecords<'a> {
     bytes: &'a [u8],
     /// Offset of the next unread block header.
     pos: usize,
-    inner: binary::RecordReader<'a>,
+    format: FormatVersion,
+    /// Current block payload and the decode position inside it.
+    payload: &'a [u8],
+    ppos: usize,
+    v2_state: V2State,
     block_base: u64,
     block_declared: u32,
     block_decoded: u32,
+    /// When seeking: drop records until this loop's first checkpoint.
+    skip_until: Option<LoopId>,
     done: bool,
 }
 
 impl FileRecords<'_> {
-    /// Advances to the next block. `Ok(false)` at the terminator. The frame
-    /// structure was validated at open time, so header/length reads cannot
-    /// fail here.
+    /// Advances to the next block. `Ok(false)` at the terminator. The
+    /// frame structure was validated at open time, so header/length reads
+    /// cannot fail here.
     fn next_block(&mut self) -> Result<bool, ReadError> {
         if self.block_decoded != self.block_declared {
             return Err(ReadError::BlockCountMismatch {
@@ -639,18 +1162,20 @@ impl FileRecords<'_> {
                 decoded: self.block_decoded,
             });
         }
-        let header = &self.bytes[self.pos..self.pos + 8];
+        let header_len = self.format.block_header_bytes();
+        let header = &self.bytes[self.pos..self.pos + header_len];
         let len = u32::from_le_bytes(header[..4].try_into().expect("slice length")) as usize;
-        let count = u32::from_le_bytes(header[4..].try_into().expect("slice length"));
+        let count = u32::from_le_bytes(header[4..8].try_into().expect("slice length"));
         if len == 0 {
             return Ok(false);
         }
-        let payload = &self.bytes[self.pos + 8..self.pos + 8 + len];
-        self.inner = binary::RecordReader::new(payload);
+        self.payload = &self.bytes[self.pos + header_len..self.pos + header_len + len];
         self.block_base = self.pos as u64;
         self.block_declared = count;
         self.block_decoded = 0;
-        self.pos += 8 + len;
+        self.ppos = 0;
+        self.v2_state = V2State::default();
+        self.pos += header_len + len;
         Ok(true)
     }
 }
@@ -658,33 +1183,139 @@ impl FileRecords<'_> {
 impl Iterator for FileRecords<'_> {
     type Item = Result<Record, ReadError>;
 
+    /// Bulk drain, mirroring [`TraceReader`]'s `fold`: one tight decode
+    /// loop per block with the consumer inlined, no per-record iterator
+    /// call. The seek filter (`skip_until`) stays on the fast path — it
+    /// is a predictable not-taken branch once positioned.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, Self::Item) -> B,
+    {
+        let mut acc = init;
+        if self.done {
+            return acc;
+        }
+        loop {
+            while self.ppos == self.payload.len() {
+                match self.next_block() {
+                    Ok(true) => {}
+                    Ok(false) => return acc,
+                    Err(e) => return f(acc, Err(e)),
+                }
+            }
+            let payload_base = self.block_base + self.format.block_header_bytes() as u64;
+            match self.format {
+                FormatVersion::V1 => {
+                    while self.ppos < self.payload.len() {
+                        match binary::decode_one(
+                            &self.payload[self.ppos..],
+                            payload_base + self.ppos as u64,
+                        ) {
+                            Ok((rec, len)) => {
+                                self.ppos += len;
+                                self.block_decoded += 1;
+                                if let Some(id) = self.skip_until {
+                                    match rec {
+                                        Record::Checkpoint { loop_id, .. } if loop_id == id => {
+                                            self.skip_until = None;
+                                        }
+                                        _ => continue,
+                                    }
+                                }
+                                acc = f(acc, Ok(rec));
+                            }
+                            Err(e) => return f(acc, Err(ReadError::Decode(e))),
+                        }
+                    }
+                }
+                FormatVersion::V2 => {
+                    // Counters and the seek filter ride in the closure so
+                    // the loop's only per-record memory traffic is the
+                    // payload and the address table (see
+                    // `v2::decode_fold`). The filter is a predictable
+                    // not-taken branch once positioned.
+                    let skip = &mut self.skip_until;
+                    let ((a, n), err) = v2::decode_fold(
+                        self.payload,
+                        &mut self.ppos,
+                        payload_base,
+                        &mut self.v2_state,
+                        (acc, 0u64),
+                        |(a, n), rec| {
+                            if let Some(id) = *skip {
+                                match rec {
+                                    Record::Checkpoint { loop_id, .. } if loop_id == id => {
+                                        *skip = None;
+                                    }
+                                    _ => return (a, n + 1),
+                                }
+                            }
+                            (f(a, Ok(rec)), n + 1)
+                        },
+                    );
+                    acc = a;
+                    self.block_decoded += n as u32;
+                    if let Some(e) = err {
+                        return f(acc, Err(ReadError::Decode(e)));
+                    }
+                }
+            }
+        }
+    }
+
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
             return None;
         }
-        while self.inner.remaining().is_empty() {
-            match self.next_block() {
-                Ok(true) => {}
-                Ok(false) => {
-                    self.done = true;
-                    return None;
+        loop {
+            while self.ppos == self.payload.len() {
+                match self.next_block() {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.done = true;
+                        return None;
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let payload_base = self.block_base + self.format.block_header_bytes() as u64;
+            let res = match self.format {
+                FormatVersion::V1 => {
+                    match binary::decode_one(
+                        &self.payload[self.ppos..],
+                        payload_base + self.ppos as u64,
+                    ) {
+                        Ok((rec, len)) => {
+                            self.ppos += len;
+                            Ok(rec)
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                FormatVersion::V2 => {
+                    v2::decode_step(self.payload, &mut self.ppos, payload_base, &mut self.v2_state)
+                }
+            };
+            match res {
+                Ok(rec) => {
+                    self.block_decoded += 1;
+                    if let Some(id) = self.skip_until {
+                        match rec {
+                            Record::Checkpoint { loop_id, .. } if loop_id == id => {
+                                self.skip_until = None;
+                            }
+                            _ => continue,
+                        }
+                    }
+                    return Some(Ok(rec));
                 }
                 Err(e) => {
                     self.done = true;
-                    return Some(Err(e));
+                    return Some(Err(ReadError::Decode(e)));
                 }
-            }
-        }
-        match self.inner.next()? {
-            Ok(rec) => {
-                self.block_decoded += 1;
-                Some(Ok(rec))
-            }
-            Err(e) => {
-                self.done = true;
-                // Map the payload-relative offset to a file offset.
-                let offset = self.block_base + 8 + e.offset;
-                Some(Err(ReadError::Decode(DecodeError { offset, ..e })))
             }
         }
     }
@@ -696,6 +1327,8 @@ mod tests {
     use crate::record::AccessKind;
     use minic::CheckpointKind;
 
+    const FORMATS: [FormatVersion; 2] = [FormatVersion::V1, FormatVersion::V2];
+
     fn sample(n: u32) -> Vec<Record> {
         let mut recs = vec![Record::checkpoint(0, CheckpointKind::LoopBegin)];
         for i in 0..n {
@@ -706,8 +1339,8 @@ mod tests {
         recs
     }
 
-    fn encode(records: &[Record], block_bytes: usize) -> Vec<u8> {
-        let mut w = TraceWriter::with_block_bytes(Vec::new(), block_bytes);
+    fn encode_with(format: FormatVersion, records: &[Record], block_bytes: usize) -> Vec<u8> {
+        let mut w = TraceWriter::with_options(Vec::new(), format, block_bytes);
         for r in records {
             w.record(r);
         }
@@ -717,29 +1350,54 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_across_block_sizes() {
+    fn round_trip_across_block_sizes_and_formats() {
         let recs = sample(100);
-        for block_bytes in [1, 16, 64, 4096, DEFAULT_BLOCK_BYTES] {
-            let bytes = encode(&recs, block_bytes);
-            let file = TraceFile::from_bytes(bytes.clone()).unwrap();
-            assert_eq!(file.record_count(), recs.len() as u64);
-            let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
-            assert_eq!(decoded, recs, "block_bytes={block_bytes}");
-            let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
-            let streamed: Vec<Record> = reader.by_ref().map(Result::unwrap).collect();
-            assert_eq!(streamed, recs, "block_bytes={block_bytes}");
-            assert_eq!(reader.records_read(), recs.len() as u64);
+        for format in FORMATS {
+            for block_bytes in [1, 16, 64, 4096, DEFAULT_BLOCK_BYTES] {
+                let bytes = encode_with(format, &recs, block_bytes);
+                let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+                assert_eq!(file.version(), format);
+                assert_eq!(file.record_count(), recs.len() as u64);
+                let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
+                assert_eq!(decoded, recs, "{format} block_bytes={block_bytes}");
+                let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+                let streamed: Vec<Record> = reader.by_ref().map(Result::unwrap).collect();
+                assert_eq!(streamed, recs, "{format} block_bytes={block_bytes}");
+                assert_eq!(reader.records_read(), recs.len() as u64);
+            }
         }
     }
 
     #[test]
-    fn empty_trace_is_a_valid_file() {
-        let bytes = encode(&[], DEFAULT_BLOCK_BYTES);
-        assert_eq!(bytes.len(), HEADER_BYTES + 8 + 8, "header + terminator + footer");
-        let file = TraceFile::from_bytes(bytes.clone()).unwrap();
-        assert_eq!(file.record_count(), 0);
-        assert_eq!(file.records().count(), 0);
-        assert_eq!(TraceReader::new(bytes.as_slice()).unwrap().count(), 0);
+    fn v2_files_are_smaller() {
+        let recs = sample(500);
+        let v1 = encode_with(FormatVersion::V1, &recs, DEFAULT_BLOCK_BYTES);
+        let v2 = encode_with(FormatVersion::V2, &recs, DEFAULT_BLOCK_BYTES);
+        assert!(
+            v2.len() * 3 <= v1.len(),
+            "v2 ({}) should be at least 3x smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_file_in_both_formats() {
+        let v1 = encode_with(FormatVersion::V1, &[], DEFAULT_BLOCK_BYTES);
+        assert_eq!(v1.len(), HEADER_BYTES + 8 + 8, "v1: header + terminator + footer");
+        let v2 = encode_with(FormatVersion::V2, &[], DEFAULT_BLOCK_BYTES);
+        assert_eq!(
+            v2.len(),
+            HEADER_BYTES + 12 + 8 + 8,
+            "v2: header + terminator + empty index + footer"
+        );
+        for bytes in [v1, v2] {
+            let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+            assert_eq!(file.record_count(), 0);
+            assert_eq!(file.records().count(), 0);
+            assert!(file.index().is_none());
+            assert_eq!(TraceReader::new(bytes.as_slice()).unwrap().count(), 0);
+        }
     }
 
     #[test]
@@ -748,6 +1406,7 @@ mod tests {
         let path = std::env::temp_dir().join("foray_trace_file_test.ftrace");
         assert_eq!(write_file(&path, &recs).unwrap(), recs.len() as u64);
         let file = TraceFile::open(&path).unwrap();
+        assert_eq!(file.version(), FormatVersion::V2);
         let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
         assert_eq!(decoded, recs);
         std::fs::remove_file(&path).ok();
@@ -755,15 +1414,19 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_version() {
-        let mut bytes = encode(&sample(3), 64);
+        let mut bytes = encode_with(FormatVersion::V2, &sample(3), 64);
         bytes[0] = b'X';
         assert!(matches!(TraceFile::from_bytes(bytes.clone()), Err(ReadError::BadMagic(_))));
         bytes[0] = MAGIC[0];
         bytes[8] = 0xfe;
-        assert!(matches!(
-            TraceFile::from_bytes(bytes.clone()),
-            Err(ReadError::UnsupportedVersion(0xfe))
-        ));
+        let err = TraceFile::from_bytes(bytes.clone()).unwrap_err();
+        assert!(matches!(err, ReadError::UnsupportedVersion(0xfe)));
+        assert!(err.to_string().contains("newer than this reader"), "{err}");
+        // Version 0 is not "newer", it is unknown.
+        bytes[8] = 0;
+        let err = TraceFile::from_bytes(bytes.clone()).unwrap_err();
+        assert!(matches!(err, ReadError::UnsupportedVersion(0)));
+        assert!(err.to_string().contains("unknown"), "{err}");
         bytes[8] = VERSION as u8;
         bytes[10] = 1;
         assert!(matches!(TraceFile::from_bytes(bytes.clone()), Err(ReadError::BadHeader)));
@@ -772,43 +1435,61 @@ mod tests {
     }
 
     #[test]
+    fn old_version_stays_readable_through_the_dispatch() {
+        // The versioning contract: a v1 file written by an older tree must
+        // open in a reader whose default (and newest) format is v2.
+        let recs = sample(10);
+        let bytes = encode_with(FormatVersion::V1, &recs, 64);
+        assert_eq!(bytes[8], 1, "v1 on disk");
+        let file = TraceFile::from_bytes(bytes).unwrap();
+        assert_eq!(file.version(), FormatVersion::V1);
+        let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
+        assert_eq!(decoded, recs);
+    }
+
+    #[test]
     fn rejects_truncation_everywhere() {
-        let bytes = encode(&sample(40), 64);
-        for cut in [3, HEADER_BYTES - 1, HEADER_BYTES + 3, bytes.len() / 2, bytes.len() - 1] {
-            let truncated = bytes[..cut].to_vec();
-            assert!(
-                matches!(
-                    TraceFile::from_bytes(truncated.clone()),
-                    Err(ReadError::Truncated { .. })
-                ),
-                "cut={cut}"
-            );
-            let streamed: Result<Vec<Record>, ReadError> =
-                match TraceReader::new(truncated.as_slice()) {
-                    Ok(r) => r.collect(),
-                    Err(e) => Err(e),
-                };
-            assert!(matches!(streamed, Err(ReadError::Truncated { .. })), "cut={cut}");
+        for format in FORMATS {
+            let bytes = encode_with(format, &sample(40), 64);
+            for cut in [3, HEADER_BYTES - 1, HEADER_BYTES + 3, bytes.len() / 2, bytes.len() - 1] {
+                let truncated = bytes[..cut].to_vec();
+                assert!(
+                    TraceFile::from_bytes(truncated.clone()).is_err(),
+                    "{format} cut={cut} must not open"
+                );
+                let streamed: Result<Vec<Record>, ReadError> =
+                    match TraceReader::new(truncated.as_slice()) {
+                        Ok(r) => r.collect(),
+                        Err(e) => Err(e),
+                    };
+                assert!(streamed.is_err(), "{format} cut={cut} must not stream");
+            }
         }
     }
 
     #[test]
     fn rejects_footer_count_mismatch() {
-        let mut bytes = encode(&sample(5), DEFAULT_BLOCK_BYTES);
-        let footer_at = bytes.len() - 8;
-        bytes[footer_at] ^= 1;
-        assert!(matches!(
-            TraceFile::from_bytes(bytes.clone()),
-            Err(ReadError::CountMismatch { .. })
-        ));
-        let streamed: Result<Vec<Record>, _> =
-            TraceReader::new(bytes.as_slice()).unwrap().collect();
-        assert!(matches!(streamed, Err(ReadError::CountMismatch { .. })));
+        for format in FORMATS {
+            let mut bytes = encode_with(format, &sample(5), DEFAULT_BLOCK_BYTES);
+            let footer_at = bytes.len() - 8;
+            bytes[footer_at] ^= 1;
+            assert!(matches!(
+                TraceFile::from_bytes(bytes.clone()),
+                Err(ReadError::CountMismatch { .. })
+            ));
+            let streamed: Result<Vec<Record>, _> =
+                TraceReader::new(bytes.as_slice()).unwrap().collect();
+            assert!(matches!(streamed, Err(ReadError::CountMismatch { .. })), "{format}");
+        }
     }
 
     #[test]
     fn rejects_block_count_mismatch() {
-        let mut bytes = encode(&sample(5), DEFAULT_BLOCK_BYTES);
+        // v1 only: in v2 the per-block record count is validated against
+        // the index ordinals at open, and payload tampering trips the CRC
+        // first — the v1 path is the one that must catch the lie at
+        // decode time.
+        let mut bytes = encode_with(FormatVersion::V1, &sample(5), DEFAULT_BLOCK_BYTES);
         // Bump the single block's record-count field; fix the footer to
         // match so the frame walk passes and decoding catches the lie.
         let count_at = HEADER_BYTES + 4;
@@ -824,9 +1505,9 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_payload_reports_absolute_offset() {
+    fn v1_corrupt_payload_reports_absolute_offset() {
         let recs = sample(2);
-        let mut bytes = encode(&recs, DEFAULT_BLOCK_BYTES);
+        let mut bytes = encode_with(FormatVersion::V1, &recs, DEFAULT_BLOCK_BYTES);
         // First payload byte is the first record's tag.
         let tag_at = HEADER_BYTES + 8;
         bytes[tag_at] = 0xaa;
@@ -840,17 +1521,56 @@ mod tests {
     }
 
     #[test]
-    fn rejects_oversized_block_declarations() {
-        let mut bytes = Vec::from(header_bytes(64));
-        bytes.extend_from_slice(&(MAX_BLOCK_BYTES + 1).to_le_bytes());
-        bytes.extend_from_slice(&0u32.to_le_bytes());
-        assert!(matches!(
-            TraceFile::from_bytes(bytes.clone()),
-            Err(ReadError::OversizedBlock { .. })
-        ));
+    fn v2_payload_corruption_trips_the_block_crc() {
+        let mut bytes = encode_with(FormatVersion::V2, &sample(8), DEFAULT_BLOCK_BYTES);
+        let payload_at = HEADER_BYTES + 12;
+        bytes[payload_at] ^= 0x40;
+        assert!(matches!(TraceFile::from_bytes(bytes.clone()), Err(ReadError::BadBlockCrc { .. })));
         let streamed: Result<Vec<Record>, _> =
             TraceReader::new(bytes.as_slice()).unwrap().collect();
-        assert!(matches!(streamed, Err(ReadError::OversizedBlock { .. })));
+        assert!(matches!(streamed, Err(ReadError::BadBlockCrc { .. })));
+        // Corrupting the stored CRC itself is equally fatal.
+        let mut bytes = encode_with(FormatVersion::V2, &sample(8), DEFAULT_BLOCK_BYTES);
+        bytes[HEADER_BYTES + 8] ^= 1;
+        assert!(matches!(TraceFile::from_bytes(bytes), Err(ReadError::BadBlockCrc { .. })));
+    }
+
+    #[test]
+    fn v2_index_corruption_is_rejected() {
+        let bytes = encode_with(FormatVersion::V2, &sample(40), 64);
+        let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+        let n_blocks = file.index().unwrap().entries().len();
+        assert!(n_blocks > 1, "want a multi-block file");
+        // The index section starts after the terminator; entry count is
+        // its first field. Find it from the end: footer(8) + crc(4) +
+        // entries + count(4).
+        let count_at = bytes.len() - 8 - 4 - n_blocks * ENTRY_BYTES - 4;
+        let mut tampered = bytes.clone();
+        tampered[count_at] ^= 1;
+        assert!(matches!(TraceFile::from_bytes(tampered), Err(ReadError::BadIndex { .. })));
+        // Flipping an entry byte breaks the index CRC.
+        let mut tampered = bytes.clone();
+        tampered[count_at + 4] ^= 1;
+        assert!(matches!(TraceFile::from_bytes(tampered), Err(ReadError::BadIndex { .. })));
+    }
+
+    #[test]
+    fn rejects_oversized_block_declarations() {
+        for format in FORMATS {
+            let mut bytes = Vec::from(header_bytes(format, 64));
+            bytes.extend_from_slice(&(MAX_BLOCK_BYTES + 1).to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            if format == FormatVersion::V2 {
+                bytes.extend_from_slice(&0u32.to_le_bytes());
+            }
+            assert!(matches!(
+                TraceFile::from_bytes(bytes.clone()),
+                Err(ReadError::OversizedBlock { .. })
+            ));
+            let streamed: Result<Vec<Record>, _> =
+                TraceReader::new(bytes.as_slice()).unwrap().collect();
+            assert!(matches!(streamed, Err(ReadError::OversizedBlock { .. })), "{format}");
+        }
     }
 
     #[test]
@@ -858,17 +1578,19 @@ mod tests {
         // Capacities past the readers' sanity bound (or past u32) must be
         // clamped at write time, never produce a file the readers reject.
         let recs = sample(20);
-        for cap in [0usize, MAX_BLOCK_BYTES as usize, usize::MAX] {
-            let mut w = TraceWriter::with_block_bytes(Vec::new(), cap);
-            for r in &recs {
-                w.record(r);
+        for format in FORMATS {
+            for cap in [0usize, MAX_BLOCK_BYTES as usize, usize::MAX] {
+                let mut w = TraceWriter::with_options(Vec::new(), format, cap);
+                for r in &recs {
+                    w.record(r);
+                }
+                w.finish();
+                assert!(w.io_error().is_none());
+                let file = TraceFile::from_bytes(w.into_inner()).unwrap();
+                assert!(file.block_hint() <= MAX_BLOCK_BYTES, "{format} cap={cap}");
+                let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
+                assert_eq!(decoded, recs, "{format} cap={cap}");
             }
-            w.finish();
-            assert!(w.io_error().is_none());
-            let file = TraceFile::from_bytes(w.into_inner()).unwrap();
-            assert!(file.block_hint() <= MAX_BLOCK_BYTES, "cap={cap}");
-            let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
-            assert_eq!(decoded, recs, "cap={cap}");
         }
     }
 
@@ -881,9 +1603,97 @@ mod tests {
         }
         assert_eq!(w.records_written(), recs.len() as u64);
         w.finish();
-        w.finish(); // no double terminator
+        w.finish(); // no double terminator / index / footer
         let bytes = w.into_inner();
         let file = TraceFile::from_bytes(bytes).unwrap();
         assert_eq!(file.record_count(), recs.len() as u64);
+    }
+
+    #[test]
+    fn index_entries_describe_the_blocks() {
+        let recs = sample(50);
+        // Tiny blocks so the index has many entries.
+        let bytes = encode_with(FormatVersion::V2, &recs, 32);
+        let file = TraceFile::from_bytes(bytes.clone()).unwrap();
+        let index = file.index().expect("v2 writes an index by default");
+        assert!(index.entries().len() > 1);
+        assert_eq!(index.entries()[0].offset, HEADER_BYTES as u64);
+        assert_eq!(index.entries()[0].first_ordinal, 0);
+        // Ordinals are strictly increasing and cover all records.
+        let ordinals: Vec<u64> = index.entries().iter().map(|e| e.first_ordinal).collect();
+        assert!(ordinals.windows(2).all(|w| w[0] < w[1]));
+        // Every entry's loop range covers loop 0 or is access-only.
+        assert!(index.find_loop(LoopId(0)).is_some());
+        // The streaming reader sees (and validates) the same index.
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(reader.index().is_none(), "index arrives only after the drain");
+        reader.by_ref().for_each(|r| {
+            r.unwrap();
+        });
+        assert_eq!(reader.index().unwrap(), index);
+    }
+
+    #[test]
+    fn disabled_index_round_trips_and_reports_unseekable() {
+        let recs = sample(20);
+        let mut w = TraceWriter::with_options(Vec::new(), FormatVersion::V2, 64)
+            .with_checkpoint_index(false);
+        for r in &recs {
+            w.record(r);
+        }
+        w.finish();
+        assert!(w.io_error().is_none());
+        let file = TraceFile::from_bytes(w.into_inner()).unwrap();
+        assert!(file.index().is_none());
+        assert!(file.records_from_loop(LoopId(0)).is_none());
+        let decoded: Vec<Record> = file.records().map(Result::unwrap).collect();
+        assert_eq!(decoded, recs);
+    }
+
+    /// A trace where loop ids appear in disjoint phases, so later loops
+    /// live in blocks the seek must skip to.
+    fn phased_trace(loops: u32, bodies: u32) -> Vec<Record> {
+        let mut t = Vec::new();
+        for l in 0..loops {
+            t.push(Record::checkpoint(l, CheckpointKind::LoopBegin));
+            for i in 0..bodies {
+                t.push(Record::checkpoint(l, CheckpointKind::BodyBegin));
+                t.push(Record::access(
+                    0x40_0000 + 16 * l,
+                    0x1000_0000 + (l << 20) + 4 * i,
+                    AccessKind::Read,
+                ));
+                t.push(Record::checkpoint(l, CheckpointKind::BodyEnd));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn seek_to_loop_equals_the_scanned_suffix() {
+        let recs = phased_trace(6, 30);
+        for block_bytes in [24, 64, 512] {
+            let bytes = encode_with(FormatVersion::V2, &recs, block_bytes);
+            let file = TraceFile::from_bytes(bytes).unwrap();
+            for l in 0..6u32 {
+                let want: Vec<Record> = {
+                    let at = recs
+                        .iter()
+                        .position(
+                            |r| matches!(r, Record::Checkpoint { loop_id, .. } if loop_id.0 == l),
+                        )
+                        .unwrap();
+                    recs[at..].to_vec()
+                };
+                let got: Vec<Record> = file
+                    .records_from_loop(LoopId(l))
+                    .expect("indexed loop is seekable")
+                    .map(Result::unwrap)
+                    .collect();
+                assert_eq!(got, want, "loop {l} block_bytes={block_bytes}");
+            }
+            // A loop id past every range is reported as certainly absent.
+            assert!(file.records_from_loop(LoopId(99)).is_none());
+        }
     }
 }

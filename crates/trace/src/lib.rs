@@ -5,8 +5,10 @@
 //! `(instruction address, access address, read/write)` interleaved with loop
 //! *checkpoints*. This crate defines those records, two serializations (the
 //! paper-compatible text format of Fig. 4(c) and a compact binary format),
-//! streaming readers/writers, the versioned `foray-trace/v1` on-disk
-//! container ([`mod@file`]), the shared address-space layout, and the two
+//! streaming readers/writers, the versioned `foray-trace` on-disk
+//! container ([`mod@file`]: fixed-width v1, and the default compressed +
+//! CRC-checked + [indexed](mod@index) v2 whose [`mod@v2`] codec
+//! packs records as length-tagged deltas), the shared address-space layout, and the two
 //! halves of the stream contract: [`TraceSink`] (push — lets the analyzer
 //! run *online* during profiling, the constant-space mode the paper
 //! highlights at the end of Section 4) and [`RecordSource`] (pull —
@@ -36,7 +38,9 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod crc;
 pub mod file;
+pub mod index;
 pub mod layout;
 pub mod record;
 pub mod sample;
@@ -45,9 +49,11 @@ pub mod sink;
 pub mod source;
 pub mod stats;
 pub mod text;
+pub mod v2;
 
 pub use binary::{DecodeError, DecodeReason, RecordReader};
-pub use file::{ReadError, TraceFile, TraceReader, TraceWriter};
+pub use file::{FormatVersion, ReadError, TraceFile, TraceReader, TraceWriter};
+pub use index::{CheckpointIndex, IndexEntry};
 pub use record::{Access, AccessKind, InstrAddr, MemAddr, Record};
 pub use sample::{SampleSink, SampleSpec, SampleState, DEFAULT_SAMPLE_SEED};
 pub use shard::{shard_of, BlockRouter, ShardBuffer, ShardingSink};

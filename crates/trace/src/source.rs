@@ -11,6 +11,11 @@
 //! Sources are consumed by value: replaying advances the underlying
 //! decoder, and a second replay needs a fresh source (cheap for slices and
 //! for [`TraceFile::records`](crate::file::TraceFile::records)).
+//!
+//! [`FileRecords`](crate::file::FileRecords) is also the *seekable* source:
+//! [`TraceFile::records_from_loop`](crate::file::TraceFile::records_from_loop)
+//! returns one positioned mid-file by the v2 checkpoint index, so an
+//! analysis scoped to one loop nest streams only the trace suffix.
 
 use crate::file::{ReadError, TraceFile};
 use crate::record::Record;
@@ -80,6 +85,29 @@ where
     Ok(n)
 }
 
+/// Drains a *fused* fallible iterator through its `fold` — the bulk path
+/// for the file-backed sources, whose `fold` overrides decode a whole
+/// block per iterator step with the sink inlined, instead of paying a
+/// `next()` call per record. Only sound for iterators that yield nothing
+/// after their first `Err` (both file readers fuse), since `fold` cannot
+/// stop early.
+fn drain_fold<E, S>(iter: impl Iterator<Item = Result<Record, E>>, sink: &mut S) -> Result<u64, E>
+where
+    S: TraceSink + ?Sized,
+{
+    // `try_fold` cannot be overridden on stable, so the readers override
+    // `fold`; switching this to `try_fold` would silently fall back to
+    // the per-record `next()` path.
+    #[allow(clippy::manual_try_fold)]
+    let n = iter.fold(Ok(0u64), |acc: Result<u64, E>, rec| {
+        let n = acc?;
+        sink.record(&rec?);
+        Ok(n + 1)
+    })?;
+    sink.finish();
+    Ok(n)
+}
+
 /// The zero-copy in-place byte decoder is a source.
 impl RecordSource for crate::binary::RecordReader<'_> {
     type Error = crate::binary::DecodeError;
@@ -94,7 +122,7 @@ impl<R: std::io::Read> RecordSource for crate::file::TraceReader<R> {
     type Error = ReadError;
 
     fn stream_into<S: TraceSink + ?Sized>(self, sink: &mut S) -> Result<u64, Self::Error> {
-        drain_iter(self, sink)
+        drain_fold(self, sink)
     }
 }
 
@@ -103,7 +131,7 @@ impl RecordSource for crate::file::FileRecords<'_> {
     type Error = ReadError;
 
     fn stream_into<S: TraceSink + ?Sized>(self, sink: &mut S) -> Result<u64, Self::Error> {
-        drain_iter(self, sink)
+        drain_fold(self, sink)
     }
 }
 

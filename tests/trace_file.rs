@@ -1,36 +1,47 @@
 //! File-backed trace pipeline lock-down.
 //!
-//! The `foray-trace/v1` container promises that a trace recorded to disk
-//! and replayed through any reader produces **byte-identical** analysis to
-//! the in-RAM record slice. This suite pins that promise on three fronts:
+//! The `foray-trace` container promises that a trace recorded to disk —
+//! in either format version — and replayed through any reader produces
+//! **byte-identical** analysis to the in-RAM record slice. This suite
+//! pins that promise on three fronts:
 //!
 //! * property tests: arbitrary record streams → `TraceWriter` (random
-//!   block sizes) → `TraceFile` / `TraceReader` / raw `RecordReader` →
-//!   identical records and identical `Analysis`;
+//!   block sizes, both formats) → `TraceFile` / `TraceReader` / raw
+//!   `RecordReader` → identical records and identical `Analysis`;
 //! * corruption: truncation at every structural boundary, bad magic,
-//!   future versions, and flipped payload bytes are all rejected with
-//!   typed errors, never mis-decoded;
-//! * the workload corpus: profile once, write the trace file, re-analyze
-//!   from the file sequentially and sharded (K ∈ {1, auto}) and require
-//!   equality with the online in-RAM analysis — model code included — plus
-//!   the `analyze_trace_files` batch fan-out.
+//!   future and unknown versions, flipped v1 payload bytes, and flipped
+//!   v2 payload/CRC/index bytes are all rejected with typed errors,
+//!   never mis-decoded;
+//! * the workload corpus: profile once, write the trace file in *both*
+//!   formats, re-analyze each sequentially and sharded (K ∈ {1, auto})
+//!   and require equality with the online in-RAM analysis — model code
+//!   included — plus the `analyze_trace_files` batch fan-out, and
+//!   require the v2 file to be smaller than its v1 sibling.
 
 use foray::{analyze, AnalyzerConfig, FilterConfig, ForayGen, ForayModel};
 use minic::CheckpointKind::{BodyBegin, BodyEnd, LoopBegin};
+use minic::LoopId;
 use minic_trace::binary::RecordReader;
-use minic_trace::file::{self, TraceReader, TraceWriter, HEADER_BYTES};
+use minic_trace::file::{self, FormatVersion, TraceReader, TraceWriter, HEADER_BYTES};
 use minic_trace::{AccessKind, ReadError, Record, RecordSource, TraceFile, TraceSink};
 use proptest::prelude::*;
 
-/// Frames a record slice with an explicit block capacity.
-fn frame(records: &[Record], block_bytes: usize) -> Vec<u8> {
-    let mut w = TraceWriter::with_block_bytes(Vec::new(), block_bytes);
+const FORMATS: [FormatVersion; 2] = [FormatVersion::V1, FormatVersion::V2];
+
+/// Frames a record slice with an explicit format and block capacity.
+fn frame_with(format: FormatVersion, records: &[Record], block_bytes: usize) -> Vec<u8> {
+    let mut w = TraceWriter::with_options(Vec::new(), format, block_bytes);
     for r in records {
         w.record(r);
     }
     w.finish();
     assert!(w.io_error().is_none());
     w.into_inner()
+}
+
+/// Frames with the default (v2) format.
+fn frame(records: &[Record], block_bytes: usize) -> Vec<u8> {
+    frame_with(FormatVersion::default(), records, block_bytes)
 }
 
 fn arb_record() -> impl Strategy<Value = Record> {
@@ -43,6 +54,10 @@ fn arb_record() -> impl Strategy<Value = Record> {
             Record::access(i, a, if w { AccessKind::Write } else { AccessKind::Read })
         }),
     ]
+}
+
+fn arb_format() -> impl Strategy<Value = FormatVersion> {
+    prop_oneof![Just(FormatVersion::V1), Just(FormatVersion::V2)]
 }
 
 /// A structured trace (real loop nesting) so the replayed analyses have
@@ -68,12 +83,14 @@ proptest! {
 
     #[test]
     fn framed_format_round_trips_arbitrary_streams(
+        format in arb_format(),
         records in proptest::collection::vec(arb_record(), 0..300),
         block_bytes in 1usize..512,
     ) {
-        let bytes = frame(&records, block_bytes);
+        let bytes = frame_with(format, &records, block_bytes);
         // Zero-copy whole-file path.
         let tf = TraceFile::from_bytes(bytes.clone()).unwrap();
+        prop_assert_eq!(tf.version(), format);
         prop_assert_eq!(tf.record_count(), records.len() as u64);
         let decoded: Result<Vec<Record>, ReadError> = tf.records().collect();
         prop_assert_eq!(decoded.unwrap(), records.clone());
@@ -85,6 +102,7 @@ proptest! {
 
     #[test]
     fn file_backed_analysis_equals_in_ram(
+        format in arb_format(),
         bodies in 1u32..40,
         refs in 1u32..8,
         block_bytes in 1usize..256,
@@ -92,7 +110,7 @@ proptest! {
     ) {
         let records = nest_trace(bodies, refs);
         let in_ram = analyze(&records);
-        let tf = TraceFile::from_bytes(frame(&records, block_bytes)).unwrap();
+        let tf = TraceFile::from_bytes(frame_with(format, &records, block_bytes)).unwrap();
         let sequential = foray::analyze_source(&tf).unwrap();
         prop_assert_eq!(&sequential, &in_ram);
         let config = AnalyzerConfig { shards, ..AnalyzerConfig::default() };
@@ -106,11 +124,12 @@ proptest! {
 
     #[test]
     fn truncation_is_always_rejected(
+        format in arb_format(),
         records in proptest::collection::vec(arb_record(), 1..80),
         block_bytes in 1usize..128,
         cut_seed in 0usize..10_000,
     ) {
-        let bytes = frame(&records, block_bytes);
+        let bytes = frame_with(format, &records, block_bytes);
         // Cut anywhere strictly inside the file: open must fail (the frame
         // walk covers every structure) and streaming must error too.
         let cut = 1 + (bytes.len() - 2) * cut_seed / 10_000;
@@ -121,6 +140,68 @@ proptest! {
             Err(e) => Err(e),
         };
         prop_assert!(streamed.is_err(), "cut={cut}");
+    }
+
+    #[test]
+    fn v2_bit_flips_are_always_rejected(
+        records in proptest::collection::vec(arb_record(), 1..120),
+        block_bytes in 1usize..128,
+        byte_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        // Flip one bit anywhere past the header: the file must either be
+        // refused (open or decode) or still yield exactly the original
+        // records — a flipped bit may never silently change the stream.
+        // Payload flips trip the block CRC, index flips trip the index
+        // CRC/audit, header-field flips trip the structural walk or the
+        // footer count; only flips in ignored padding (e.g. the unused
+        // bytes of the zero terminator) are absorbed, and those leave the
+        // records untouched by construction.
+        let bytes = frame(&records, block_bytes);
+        let at = HEADER_BYTES + (bytes.len() - HEADER_BYTES - 1) * byte_seed / 10_000;
+        let mut flipped = bytes;
+        flipped[at] ^= 1 << bit;
+        if let Ok(tf) = TraceFile::from_bytes(flipped) {
+            let decoded: Result<Vec<Record>, ReadError> = tf.records().collect();
+            if let Ok(got) = decoded {
+                prop_assert_eq!(got, records, "flip at byte {} bit {}", at, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_seek_matches_the_scanned_suffix(
+        loops in 2u32..8,
+        bodies in 1u32..20,
+        block_bytes in 16usize..512,
+    ) {
+        let mut records = Vec::new();
+        for l in 0..loops {
+            records.push(Record::checkpoint(l, LoopBegin));
+            for i in 0..bodies {
+                records.push(Record::checkpoint(l, BodyBegin));
+                records.push(Record::access(
+                    0x40_0000 + 4 * l,
+                    0x1000_0000 + (l << 16) + 4 * i,
+                    AccessKind::Read,
+                ));
+                records.push(Record::checkpoint(l, BodyEnd));
+            }
+        }
+        let tf = TraceFile::from_bytes(frame(&records, block_bytes)).unwrap();
+        for l in 0..loops {
+            let first = records
+                .iter()
+                .position(|r| matches!(r, Record::Checkpoint { loop_id, .. } if loop_id.0 == l))
+                .unwrap();
+            let got: Vec<Record> = tf
+                .records_from_loop(LoopId(l))
+                .expect("loop is in the trace, so the index must cover it")
+                .map(Result::unwrap)
+                .collect();
+            prop_assert_eq!(&got[..], &records[first..], "loop {}", l);
+        }
+        prop_assert!(tf.records_from_loop(LoopId(loops)).is_none());
     }
 }
 
@@ -133,22 +214,61 @@ fn corrupt_headers_are_rejected_with_typed_errors() {
 
     let mut future = bytes.clone();
     future[8] = 9;
-    let Err(ReadError::UnsupportedVersion(9)) = TraceFile::from_bytes(future) else {
+    let err = TraceFile::from_bytes(future).unwrap_err();
+    let ReadError::UnsupportedVersion(9) = err else {
         panic!("future versions must be refused, not guessed at");
     };
+    assert!(err.to_string().contains("newer than this reader"), "{err}");
+
+    // Version 0 was never assigned: "unknown", not "newer".
+    let mut unknown = bytes.clone();
+    unknown[8] = 0;
+    let err = TraceFile::from_bytes(unknown).unwrap_err();
+    assert!(matches!(err, ReadError::UnsupportedVersion(0)));
+    assert!(err.to_string().contains("unknown"), "{err}");
 
     let mut reserved = bytes.clone();
     reserved[11] = 1;
     assert!(matches!(TraceFile::from_bytes(reserved), Err(ReadError::BadHeader)));
 
-    // Payload corruption surfaces as a typed decode error with a file
-    // offset inside the corrupted block.
+    // v2 payload corruption trips the block CRC at open time.
     let mut bad_payload = bytes;
+    bad_payload[HEADER_BYTES + 12] ^= 0x7f;
+    assert!(matches!(
+        TraceFile::from_bytes(bad_payload),
+        Err(ReadError::BadBlockCrc { offset: 16, .. })
+    ));
+
+    // v1 has no CRC: payload corruption surfaces as a typed decode error
+    // with a file offset inside the corrupted block.
+    let v1 = frame_with(FormatVersion::V1, &nest_trace(4, 2), 64);
+    let mut bad_payload = v1;
     bad_payload[HEADER_BYTES + 8] = 0x7f;
     let tf = TraceFile::from_bytes(bad_payload).unwrap();
     let err = tf.records().find_map(Result::err).unwrap();
     let ReadError::Decode(d) = err else { panic!("want decode error, got {err}") };
     assert_eq!(d.offset, (HEADER_BYTES + 8) as u64);
+}
+
+#[test]
+fn block_capacity_boundaries_round_trip_in_both_formats() {
+    // The writer clamps any requested capacity into the readers' accepted
+    // window; files written at the extremes (and just around the default)
+    // must replay exactly in both formats.
+    let records = nest_trace(12, 3);
+    for format in FORMATS {
+        for cap in [0usize, 1, file::DEFAULT_BLOCK_BYTES - 1, file::DEFAULT_BLOCK_BYTES, usize::MAX]
+        {
+            let bytes = frame_with(format, &records, cap);
+            let tf = TraceFile::from_bytes(bytes.clone()).unwrap();
+            assert!(tf.block_hint() <= 1 << 30, "{format} cap={cap}: hint must be clamped");
+            let decoded: Vec<Record> = tf.records().map(Result::unwrap).collect();
+            assert_eq!(decoded, records, "{format} cap={cap}");
+            let streamed: Vec<Record> =
+                TraceReader::new(bytes.as_slice()).unwrap().map(Result::unwrap).collect();
+            assert_eq!(streamed, records, "{format} cap={cap}");
+        }
+    }
 }
 
 /// Profiles one workload, returning its trace and its online analysis.
@@ -168,35 +288,47 @@ fn workload_traces_replay_byte_identically_from_disk() {
     let mut expected = Vec::new();
     for w in foray_workloads::all(foray_workloads::Params::default()) {
         let (records, online) = profile(&w);
-        let path = dir.join(format!("{}.ftrace", w.name));
-        let written = file::write_file(&path, &records).unwrap();
-        assert_eq!(written, records.len() as u64, "{}", w.name);
+        let mut sizes = [0u64; 2];
+        for (fi, format) in FORMATS.into_iter().enumerate() {
+            let path = dir.join(format!("{}.{format}.ftrace", w.name));
+            let written = file::write_file_with(&path, &records, format).unwrap();
+            assert_eq!(written, records.len() as u64, "{} {format}", w.name);
+            sizes[fi] = std::fs::metadata(&path).unwrap().len();
 
-        let tf = TraceFile::open(&path).unwrap();
-        assert_eq!(tf.record_count(), records.len() as u64, "{}", w.name);
-        // K = 1 (sequential) and K = auto (0), per the acceptance bar.
-        for shards in [1usize, 0] {
-            let config = AnalyzerConfig { shards, ..AnalyzerConfig::default() };
-            let analysis = if shards == 1 {
-                foray::analyze_source_with(&tf, config).unwrap()
-            } else {
-                foray::analyze_sharded_source(&tf, config).unwrap()
-            };
-            assert_eq!(analysis, online.analysis, "{} K={shards}", w.name);
-            let model = ForayModel::extract(&analysis, &FilterConfig::default());
-            assert_eq!(
-                foray::codegen::emit(&model),
-                online.code,
-                "{} K={shards}: model code must be byte-identical",
-                w.name
-            );
+            let tf = TraceFile::open(&path).unwrap();
+            assert_eq!(tf.version(), format, "{}", w.name);
+            assert_eq!(tf.record_count(), records.len() as u64, "{}", w.name);
+            // K = 1 (sequential) and K = auto (0), per the acceptance bar.
+            for shards in [1usize, 0] {
+                let config = AnalyzerConfig { shards, ..AnalyzerConfig::default() };
+                let analysis = if shards == 1 {
+                    foray::analyze_source_with(&tf, config).unwrap()
+                } else {
+                    foray::analyze_sharded_source(&tf, config).unwrap()
+                };
+                assert_eq!(analysis, online.analysis, "{} {format} K={shards}", w.name);
+                let model = ForayModel::extract(&analysis, &FilterConfig::default());
+                assert_eq!(
+                    foray::codegen::emit(&model),
+                    online.code,
+                    "{} {format} K={shards}: model code must be byte-identical",
+                    w.name
+                );
+            }
+            paths.push(path);
+            expected.push(online.analysis.clone());
         }
-        paths.push(path);
-        expected.push(online.analysis.clone());
+        assert!(
+            sizes[1] < sizes[0],
+            "{}: v2 ({}) must be smaller than v1 ({})",
+            w.name,
+            sizes[1],
+            sizes[0]
+        );
     }
 
     // The batch fan-out sees the same analyses, in path order, for any
-    // worker count.
+    // worker count — v1 and v2 files mixed in one batch.
     for workers in [1usize, 3, 0] {
         let results = foray::analyze_trace_files(&paths, workers, &AnalyzerConfig::default());
         assert_eq!(results.len(), expected.len());
@@ -220,19 +352,23 @@ fn workload_traces_replay_byte_identically_from_disk() {
 #[test]
 fn streaming_writer_on_a_profiling_run_matches_buffered_write() {
     // TraceWriter as the live simulation sink (the `trace record` path)
-    // produces the same file a post-hoc write_file produces.
+    // produces the same file a post-hoc write_file produces — in both
+    // formats (v2 exercises the delta state and index bookkeeping under
+    // record-at-a-time pressure).
     let w = foray_workloads::by_name("adpcmc", foray_workloads::Params::default()).unwrap();
     let prog = w.frontend().unwrap();
-    let mut writer = TraceWriter::new(Vec::new());
-    minic_sim::run_with_sink(&prog, &minic_sim::SimConfig::default(), &w.inputs, &mut writer)
-        .unwrap();
-    assert!(writer.io_error().is_none());
-    let live = writer.into_inner();
-
     let (_, records) = minic_sim::run(&prog, &minic_sim::SimConfig::default(), &w.inputs).unwrap();
-    let mut buffered = Vec::new();
-    file::write_to(&mut buffered, &records).unwrap();
-    assert_eq!(live, buffered, "live sink and buffered write must agree byte-for-byte");
+    for format in FORMATS {
+        let mut writer = TraceWriter::with_format(Vec::new(), format);
+        minic_sim::run_with_sink(&prog, &minic_sim::SimConfig::default(), &w.inputs, &mut writer)
+            .unwrap();
+        assert!(writer.io_error().is_none());
+        let live = writer.into_inner();
+
+        let mut buffered = Vec::new();
+        file::write_to_with(&mut buffered, &records, format).unwrap();
+        assert_eq!(live, buffered, "{format}: live sink and buffered write must agree");
+    }
 }
 
 #[test]
