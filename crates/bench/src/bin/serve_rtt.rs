@@ -1,0 +1,203 @@
+//! `serve_rtt` — daemon round-trip-time report: cold compute vs cached.
+//!
+//! Boots a real `forayd` ([`foray_serve::serve`]) on a Unix socket in a
+//! temp directory, then measures full client round trips
+//! (connect → submit → wait → payload) two ways:
+//!
+//! * **cold** — a fresh cache key each round (the filter threshold is
+//!   perturbed per iteration, which never changes profile/analyze cost),
+//!   so every trip pays compile + profile + analyze;
+//! * **cached** — the same key every round after priming, so every trip
+//!   is answered from the content-addressed cache.
+//!
+//! The cached payload is asserted byte-identical to the cold payload
+//! before anything is reported — the speedup must never come at the cost
+//! of the service's byte-identity contract. Writes a machine-readable
+//! `foray-serve-bench/v1` JSON report (CI uploads it as
+//! `BENCH_serve.json`).
+//!
+//! ```text
+//! cargo run --release -p foray-bench --bin serve_rtt -- \
+//!     [--workload NAME] [--scale N] [--iters N] [--quick] [--json PATH] \
+//!     [--check-speedup X]
+//! ```
+//!
+//! `--check-speedup X` exits non-zero unless the cached round trip is at
+//! least `X` times faster than the cold one — the CI gate on the cache
+//! actually caching.
+
+use foray_serve::{Client, JobInput, JobSpec, Response, ServeAddr, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    workload: String,
+    scale: u32,
+    iters: u32,
+    json: Option<String>,
+    check_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { workload: "fftc".to_owned(), scale: 1, iters: 12, json: None, check_speedup: None };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => args.workload = need(&mut it, "--workload")?,
+            "--scale" => {
+                args.scale =
+                    need(&mut it, "--scale")?.parse().map_err(|_| "bad --scale".to_owned())?;
+            }
+            "--iters" => {
+                args.iters =
+                    need(&mut it, "--iters")?.parse().map_err(|_| "bad --iters".to_owned())?;
+            }
+            "--quick" => args.iters = 6,
+            "--json" => args.json = Some(need(&mut it, "--json")?),
+            "--check-speedup" => {
+                args.check_speedup = Some(
+                    need(&mut it, "--check-speedup")?
+                        .parse()
+                        .map_err(|_| "bad --check-speedup".to_owned())?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.iters == 0 {
+        return Err("--iters must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+/// One full client round trip: connect, submit, wait, read the payload.
+fn round_trip(addr: &ServeAddr, spec: &JobSpec) -> (Duration, bool, String) {
+    let start = Instant::now();
+    let mut client = Client::connect(addr).expect("daemon reachable");
+    let (hit, payload) = client.run(spec).expect("transport").expect("job succeeds");
+    (start.elapsed(), hit, payload)
+}
+
+fn json_report(args: &Args, cold: Duration, cached: Duration, speedup: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"foray-serve-bench/v1\",\n");
+    let _ = writeln!(s, "  \"workload\": \"{}\",", args.workload);
+    let _ = writeln!(s, "  \"scale\": {},", args.scale);
+    let _ = writeln!(s, "  \"iters\": {},", args.iters);
+    let _ = writeln!(s, "  \"cold_rtt_seconds\": {:.6},", cold.as_secs_f64());
+    let _ = writeln!(s, "  \"cached_rtt_seconds\": {:.6},", cached.as_secs_f64());
+    let _ = writeln!(s, "  \"speedup\": {speedup:.2}");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: serve_rtt [--workload NAME] [--scale N] [--iters N] [--quick] \
+                 [--json PATH] [--check-speedup X]"
+            );
+            std::process::exit(1);
+        }
+    };
+    if foray_workloads::by_name(&args.workload, foray_workloads::Params { scale: args.scale })
+        .is_none()
+    {
+        eprintln!("error: unknown workload `{}`", args.workload);
+        std::process::exit(1);
+    }
+
+    let sock = std::env::temp_dir().join(format!("foray-serve-rtt-{}.sock", std::process::id()));
+    let addr = ServeAddr::Unix(sock.clone());
+    let server = Server::new(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let daemon = {
+        let addr = addr.clone();
+        std::thread::spawn(move || foray_serve::serve(server, &addr))
+    };
+    for _ in 0..300 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let base = JobSpec {
+        input: JobInput::Workload(args.workload.clone()),
+        scale: args.scale,
+        ..JobSpec::default()
+    };
+    println!(
+        "serve_rtt: {} at scale {} over {} (best of {} iters)",
+        args.workload, args.scale, addr, args.iters
+    );
+
+    // Prime the cache with the base spec; this is also the reference
+    // payload for the byte-identity assertion.
+    let (_, primed_hit, cold_payload) = round_trip(&addr, &base);
+    assert!(!primed_hit, "priming trip must be a miss");
+
+    let (mut cold, mut cached) = (Duration::MAX, Duration::MAX);
+    for i in 0..args.iters {
+        // Fresh key per cold round: perturb the Step 4 filter threshold,
+        // which changes the digest but not profile/analyze cost.
+        let fresh = JobSpec { n_exec: base.n_exec + 1000 + u64::from(i), ..base.clone() };
+        let (t, hit, _) = round_trip(&addr, &fresh);
+        assert!(!hit, "cold round {i} unexpectedly hit the cache");
+        cold = cold.min(t);
+
+        let (t, hit, payload) = round_trip(&addr, &base);
+        assert!(hit, "cached round {i} unexpectedly missed");
+        assert_eq!(payload, cold_payload, "cached bytes must equal cold bytes");
+        cached = cached.min(t);
+    }
+
+    let mut client = Client::connect(&addr).expect("daemon reachable");
+    let Response::Stats(stats) = client.stats().expect("stats") else {
+        panic!("unexpected stats reply");
+    };
+    assert_eq!(stats.cache_hits, u64::from(args.iters), "every cached round counted as a hit");
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread").expect("daemon exits cleanly");
+
+    let speedup = cold.as_secs_f64() / cached.as_secs_f64();
+    let table = foray_bench::render_table(
+        &["path", "rtt", "speedup"],
+        &[
+            vec![
+                "cold".to_owned(),
+                format!("{:.2} ms", cold.as_secs_f64() * 1e3),
+                "1.00x".to_owned(),
+            ],
+            vec![
+                "cached".to_owned(),
+                format!("{:.2} ms", cached.as_secs_f64() * 1e3),
+                format!("{speedup:.2}x"),
+            ],
+        ],
+    );
+    println!("{table}");
+
+    if let Some(path) = &args.json {
+        let report = json_report(&args, cold, cached, speedup);
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} (foray-serve-bench/v1)");
+    }
+    if let Some(min) = args.check_speedup {
+        if speedup < min {
+            eprintln!("FAIL: cached speedup {speedup:.2}x is below the {min:.2}x gate");
+            std::process::exit(3);
+        }
+        println!("check passed: {speedup:.2}x >= {min:.2}x");
+    }
+}

@@ -27,6 +27,12 @@
 //! foray-gen dse [--workloads all|a,b] [--capacities LIST] [--models LIST]
 //!     parallel SPM design-space exploration over the workload corpus,
 //!     with Pareto-front reporting (text and --json)
+//! foray-gen serve (--socket PATH | --tcp HOST:PORT) [--workers N] ...
+//!     forayd: long-running analysis daemon with a content-addressed
+//!     result cache, speaking line-delimited JSON
+//! foray-gen client (--socket PATH | --tcp HOST:PORT) ACTION [...]
+//!     talk to a running daemon: submit / wait / poll / stats / ping /
+//!     shutdown
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 compile error, 3 runtime error.
@@ -71,6 +77,15 @@ const USAGE: &str = "usage:
   foray-gen spm      <prog.mc> [--capacity BYTES] [--nexec N] [--nloc N] [--inputs v,v,..]
   foray-gen dse      [--workloads all|a,b,..] [--capacities n,n,..] [--models m,m,..]
                      [--jobs N] [--scale N] [--json PATH] [--check]
+  foray-gen serve    (--socket PATH | --tcp HOST:PORT) [--workers N] [--queue N]
+                     [--cache N] [--spill DIR] [--jobs N]
+  foray-gen client   (--socket PATH | --tcp HOST:PORT) ACTION [flags]
+                     ACTION: submit (--workload NAME [--scale N] | <prog.mc> |
+                             --trace FILE.ftrace) [--kind model|report|dse]
+                             [--nexec N] [--nloc N] [--sample S] [--engine E]
+                             [--inputs v,v,..] [--priority 0-9] [--no-wait]
+                           | wait JOB [--timeout-ms N] | poll JOB
+                           | stats | ping | shutdown
 
 program sources (model/report/trace/spm):
   <prog.mc>        a mini-C source file, or
@@ -109,7 +124,19 @@ dse flags:
   --jobs N     pool worker count (default: available parallelism)
   --scale N    workload size multiplier (default: 1)
   --json PATH  also write the machine-readable foray-dse/v1 report
-  --check      fail (exit 3) unless every Pareto front is non-empty and monotone";
+  --check      fail (exit 3) unless every Pareto front is non-empty and monotone
+
+serve flags:
+  --workers N  compute threads (default 1); --queue N bounded queue depth
+               (default 64, overflow is a typed queue_full rejection);
+  --cache N    in-memory result-cache entries (default 128); --spill DIR
+               spills evictions to disk; --jobs N analysis shards per job
+               (default auto, capped)
+
+client notes:
+  submit waits and prints the result payload verbatim (byte-comparable
+  across runs: cached and cold responses are identical); --no-wait prints
+  the job id instead; stats prints the raw counters JSON line";
 
 #[derive(Debug)]
 enum CliError {
@@ -299,6 +326,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
     if cmd == "dse" {
         // Corpus-driven: no program file argument, own flag set.
         return cmd_dse(&parse_dse_options(&args[1..])?);
+    }
+    if cmd == "serve" {
+        // The daemon: own flag set, no program file argument.
+        return cmd_serve(&parse_serve_options(&args[1..])?);
+    }
+    if cmd == "client" {
+        return cmd_client(&args[1..]);
     }
     if cmd == "trace" {
         // The file-pipeline sub-subcommands; bare `trace` keeps its legacy
@@ -699,6 +733,278 @@ fn cmd_dse(opts: &DseOptions) -> Result<(), CliError> {
     }
     if opts.check {
         result.check().map_err(CliError::Runtime)?;
+    }
+    Ok(())
+}
+
+struct ServeOptions {
+    addr: foray_serve::ServeAddr,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    spill: Option<String>,
+    jobs: usize,
+}
+
+/// Parses `--socket PATH | --tcp HOST:PORT` into a serve address
+/// (shared by `serve` and `client`).
+fn parse_addr(
+    socket: Option<String>,
+    tcp: Option<String>,
+) -> Result<foray_serve::ServeAddr, CliError> {
+    match (socket, tcp) {
+        (Some(p), None) => Ok(foray_serve::ServeAddr::Unix(p.into())),
+        (None, Some(a)) => Ok(foray_serve::ServeAddr::Tcp(a)),
+        _ => {
+            Err(CliError::Usage("give exactly one of --socket PATH or --tcp HOST:PORT".to_owned()))
+        }
+    }
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
+    let (mut socket, mut tcp, mut spill) = (None, None, None);
+    let (mut workers, mut queue, mut cache, mut jobs) = (1usize, 64usize, 128usize, 0usize);
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(need(&mut it, "--socket")?),
+            "--tcp" => tcp = Some(need(&mut it, "--tcp")?),
+            "--workers" => workers = parse_num(&need(&mut it, "--workers")?)?.max(1) as usize,
+            "--queue" => queue = parse_num(&need(&mut it, "--queue")?)?.max(1) as usize,
+            "--cache" => cache = parse_num(&need(&mut it, "--cache")?)? as usize,
+            "--spill" => spill = Some(need(&mut it, "--spill")?),
+            "--jobs" => jobs = parse_num(&need(&mut it, "--jobs")?)? as usize,
+            other => return Err(CliError::Usage(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    Ok(ServeOptions { addr: parse_addr(socket, tcp)?, workers, queue, cache, spill, jobs })
+}
+
+fn cmd_serve(opts: &ServeOptions) -> Result<(), CliError> {
+    let server = foray_serve::Server::new(foray_serve::ServeConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        cache_entries: opts.cache,
+        spill_dir: opts.spill.clone().map(Into::into),
+        default_shards: opts.jobs,
+        ..foray_serve::ServeConfig::default()
+    });
+    eprintln!("forayd listening on {}", opts.addr);
+    foray_serve::serve(server, &opts.addr)?;
+    eprintln!("forayd drained and exited");
+    Ok(())
+}
+
+struct ClientOptions {
+    addr: foray_serve::ServeAddr,
+    action: String,
+    /// Positional after the action: job id (wait/poll) or program file
+    /// (submit).
+    arg: Option<String>,
+    workload: Option<String>,
+    trace: Option<String>,
+    kind: foray_serve::JobKind,
+    scale: u32,
+    n_exec: u64,
+    n_loc: u64,
+    sample: SampleSpec,
+    engine: Engine,
+    inputs: Option<Vec<i64>>,
+    priority: u8,
+    no_wait: bool,
+    timeout_ms: Option<u64>,
+}
+
+fn parse_client_options(args: &[String]) -> Result<ClientOptions, CliError> {
+    let (mut socket, mut tcp) = (None, None);
+    let mut o = ClientOptions {
+        addr: foray_serve::ServeAddr::Tcp(String::new()), // placeholder
+        action: String::new(),
+        arg: None,
+        workload: None,
+        trace: None,
+        kind: foray_serve::JobKind::Model,
+        scale: 1,
+        n_exec: 20,
+        n_loc: 10,
+        sample: SampleSpec::default(),
+        engine: Engine::default(),
+        inputs: None,
+        priority: 0,
+        no_wait: false,
+        timeout_ms: None,
+    };
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(need(&mut it, "--socket")?),
+            "--tcp" => tcp = Some(need(&mut it, "--tcp")?),
+            "--workload" => o.workload = Some(need(&mut it, "--workload")?),
+            "--trace" => o.trace = Some(need(&mut it, "--trace")?),
+            "--kind" => {
+                let name = need(&mut it, "--kind")?;
+                o.kind = foray_serve::JobKind::parse(&name).ok_or_else(|| {
+                    CliError::Usage(format!("unknown kind `{name}` (use model/report/dse)"))
+                })?;
+            }
+            "--scale" => o.scale = parse_num(&need(&mut it, "--scale")?)?.max(1) as u32,
+            "--nexec" => o.n_exec = parse_num(&need(&mut it, "--nexec")?)?,
+            "--nloc" => o.n_loc = parse_num(&need(&mut it, "--nloc")?)?,
+            "--sample" => {
+                let spec = need(&mut it, "--sample")?;
+                o.sample = SampleSpec::parse(&spec)
+                    .map_err(|e| CliError::Usage(format!("bad --sample: {e}")))?;
+            }
+            "--engine" => {
+                let name = need(&mut it, "--engine")?;
+                o.engine = Engine::parse(&name).ok_or_else(|| {
+                    CliError::Usage(format!("unknown engine `{name}` (use `tree` or `vm`)"))
+                })?;
+            }
+            "--inputs" => {
+                let list = need(&mut it, "--inputs")?;
+                o.inputs = Some(
+                    list.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            s.trim()
+                                .parse()
+                                .map_err(|_| CliError::Usage(format!("bad input value `{s}`")))
+                        })
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--priority" => {
+                let n = parse_num(&need(&mut it, "--priority")?)?;
+                if n > u64::from(foray_serve::MAX_PRIORITY) {
+                    return Err(CliError::Usage(format!("--priority {n} is out of range 0-9")));
+                }
+                o.priority = n as u8;
+            }
+            "--no-wait" => o.no_wait = true,
+            "--timeout-ms" => o.timeout_ms = Some(parse_num(&need(&mut it, "--timeout-ms")?)?),
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown client flag `{other}`")));
+            }
+            word => {
+                if o.action.is_empty() {
+                    o.action = word.to_owned();
+                } else if o.arg.is_none() {
+                    o.arg = Some(word.to_owned());
+                } else {
+                    return Err(CliError::Usage(format!("unexpected argument `{word}`")));
+                }
+            }
+        }
+    }
+    if o.action.is_empty() {
+        return Err(CliError::Usage(
+            "client needs an action: submit, wait, poll, stats, ping, shutdown".to_owned(),
+        ));
+    }
+    o.addr = parse_addr(socket, tcp)?;
+    Ok(o)
+}
+
+/// Builds the submit spec from client flags: exactly one input among
+/// `--workload`, a program file, and `--trace`.
+fn client_job_spec(o: &ClientOptions) -> Result<foray_serve::JobSpec, CliError> {
+    let input = match (&o.workload, &o.arg, &o.trace) {
+        (Some(w), None, None) => foray_serve::JobInput::Workload(w.clone()),
+        (None, Some(file), None) => foray_serve::JobInput::Source(read_source(file)?),
+        (None, None, Some(t)) => foray_serve::JobInput::Trace(t.clone()),
+        _ => {
+            return Err(CliError::Usage(
+                "submit needs exactly one of --workload NAME, a program file, or --trace FILE"
+                    .to_owned(),
+            ))
+        }
+    };
+    Ok(foray_serve::JobSpec {
+        kind: o.kind,
+        input,
+        scale: o.scale,
+        engine: o.engine,
+        n_exec: o.n_exec,
+        n_loc: o.n_loc,
+        sample: o.sample,
+        inputs: o.inputs.clone(),
+        priority: o.priority,
+    })
+}
+
+/// Maps a typed daemon failure to an exit-3 runtime error.
+fn client_fail(e: foray_serve::ProtoError) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let o = parse_client_options(args)?;
+    let mut client = foray_serve::Client::connect(&o.addr)?;
+    use foray_serve::Response;
+    match o.action.as_str() {
+        "submit" => {
+            let spec = client_job_spec(&o)?;
+            if o.no_wait {
+                match client.submit(&spec)? {
+                    Response::Submitted { job, hit, key } => println!("{job} hit={hit} key={key}"),
+                    Response::Error(e) => return Err(client_fail(e)),
+                    other => return Err(CliError::Runtime(format!("unexpected reply: {other:?}"))),
+                }
+            } else {
+                // The payload goes to stdout *verbatim* so callers can
+                // byte-compare runs (the serve-smoke CI job diffs these).
+                match client.run(&spec)? {
+                    Ok((_hit, payload)) => print!("{payload}"),
+                    Err(e) => return Err(client_fail(e)),
+                }
+            }
+        }
+        "wait" => {
+            let job =
+                o.arg.clone().ok_or_else(|| CliError::Usage("wait needs a job id".to_owned()))?;
+            match client.wait(&job, o.timeout_ms)? {
+                Response::Result { result, .. } => print!("{result}"),
+                Response::Error(e) => return Err(client_fail(e)),
+                other => return Err(CliError::Runtime(format!("unexpected reply: {other:?}"))),
+            }
+        }
+        "poll" => {
+            let job =
+                o.arg.clone().ok_or_else(|| CliError::Usage("poll needs a job id".to_owned()))?;
+            match client.poll(&job)? {
+                Response::Status { state, .. } => println!("{state}"),
+                Response::Error(e) => return Err(client_fail(e)),
+                other => return Err(CliError::Runtime(format!("unexpected reply: {other:?}"))),
+            }
+        }
+        "stats" => match client.stats()? {
+            // The raw stats line *is* the machine-readable output.
+            r @ Response::Stats(_) => println!("{}", r.render()),
+            Response::Error(e) => return Err(client_fail(e)),
+            other => return Err(CliError::Runtime(format!("unexpected reply: {other:?}"))),
+        },
+        "ping" => match client.ping()? {
+            Response::Pong => println!("pong"),
+            Response::Error(e) => return Err(client_fail(e)),
+            other => return Err(CliError::Runtime(format!("unexpected reply: {other:?}"))),
+        },
+        "shutdown" => match client.shutdown()? {
+            Response::ShutdownStarted => println!("draining"),
+            Response::Error(e) => return Err(client_fail(e)),
+            other => return Err(CliError::Runtime(format!("unexpected reply: {other:?}"))),
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown client action `{other}` (use submit/wait/poll/stats/ping/shutdown)"
+            )))
+        }
     }
     Ok(())
 }
@@ -1138,5 +1444,140 @@ mod tests {
         assert!(written.contains("\"schema\": \"foray-dse/v1\""));
         assert!(run(&["dse".to_owned(), "--workloads".to_owned(), "nope".to_owned()])
             .is_err_and(|e| matches!(e, CliError::Usage(_))));
+    }
+
+    fn owned(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let o = parse_serve_options(&owned(&[
+            "--socket",
+            "/tmp/f.sock",
+            "--workers",
+            "3",
+            "--queue",
+            "9",
+            "--cache",
+            "7",
+            "--spill",
+            "/tmp/spill",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, foray_serve::ServeAddr::Unix("/tmp/f.sock".into()));
+        assert_eq!((o.workers, o.queue, o.cache, o.jobs), (3, 9, 7, 2));
+        assert_eq!(o.spill.as_deref(), Some("/tmp/spill"));
+        let o = parse_serve_options(&owned(&["--tcp", "127.0.0.1:0"])).unwrap();
+        assert_eq!(o.addr, foray_serve::ServeAddr::Tcp("127.0.0.1:0".into()));
+        assert_eq!((o.workers, o.queue, o.cache), (1, 64, 128), "defaults");
+        // Address is mandatory and exclusive.
+        assert!(parse_serve_options(&[]).is_err_and(|e| matches!(e, CliError::Usage(_))));
+        assert!(parse_serve_options(&owned(&["--socket", "/tmp/a", "--tcp", "h:1",]))
+            .is_err_and(|e| matches!(e, CliError::Usage(_))));
+        assert!(parse_serve_options(&owned(&["--workers"]))
+            .is_err_and(|e| matches!(e, CliError::Usage(_))));
+    }
+
+    #[test]
+    fn client_options_parse_and_build_specs() {
+        let o = parse_client_options(&owned(&[
+            "--socket",
+            "/tmp/f.sock",
+            "submit",
+            "--workload",
+            "fftc",
+            "--scale",
+            "2",
+            "--kind",
+            "report",
+            "--sample",
+            "every:4",
+            "--engine",
+            "tree",
+            "--priority",
+            "5",
+            "--no-wait",
+        ]))
+        .unwrap();
+        assert_eq!(o.action, "submit");
+        let spec = client_job_spec(&o).unwrap();
+        assert_eq!(spec.input, foray_serve::JobInput::Workload("fftc".to_owned()));
+        assert_eq!(spec.kind, foray_serve::JobKind::Report);
+        assert_eq!(spec.scale, 2);
+        assert_eq!(spec.engine, Engine::Tree);
+        assert_eq!(spec.priority, 5);
+        assert!(o.no_wait);
+
+        let o = parse_client_options(&owned(&[
+            "--socket",
+            "/tmp/f.sock",
+            "wait",
+            "j3",
+            "--timeout-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!((o.action.as_str(), o.arg.as_deref()), ("wait", Some("j3")));
+        assert_eq!(o.timeout_ms, Some(250));
+
+        // Exactly one input for submit.
+        let o = parse_client_options(&owned(&[
+            "--socket",
+            "/tmp/f.sock",
+            "submit",
+            "--workload",
+            "fftc",
+            "--trace",
+            "/t.ftrace",
+        ]))
+        .unwrap();
+        assert!(client_job_spec(&o).is_err_and(|e| matches!(e, CliError::Usage(_))));
+        let o = parse_client_options(&owned(&["--socket", "/tmp/f.sock", "submit"])).unwrap();
+        assert!(client_job_spec(&o).is_err_and(|e| matches!(e, CliError::Usage(_))));
+
+        // Missing action / out-of-range priority are usage errors.
+        assert!(parse_client_options(&owned(&["--socket", "/tmp/f.sock"]))
+            .is_err_and(|e| matches!(e, CliError::Usage(_))));
+        assert!(parse_client_options(&owned(&[
+            "--socket",
+            "/tmp/f.sock",
+            "submit",
+            "--priority",
+            "10",
+        ]))
+        .is_err_and(|e| matches!(e, CliError::Usage(_))));
+    }
+
+    #[test]
+    fn client_end_to_end_over_unix_socket() {
+        let sock = std::env::temp_dir()
+            .join(format!("foray_cli_serve_{}.sock", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let addr = foray_serve::ServeAddr::Unix(sock.clone().into());
+        let server = foray_serve::Server::new(foray_serve::ServeConfig {
+            workers: 1,
+            ..foray_serve::ServeConfig::default()
+        });
+        let srv_addr = addr.clone();
+        let daemon = std::thread::spawn(move || foray_serve::serve(server, &srv_addr));
+        // The listener needs a beat to bind before the client connects.
+        let mut tries = 0;
+        while !std::path::Path::new(&sock).exists() && tries < 100 {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tries += 1;
+        }
+        let path = write_temp("client_e2e", PROG);
+        let submit = owned(&["client", "--socket", &sock, "submit", &path]);
+        run(&submit).unwrap();
+        run(&submit).unwrap(); // warm: served from cache, same bytes
+        run(&owned(&["client", "--socket", &sock, "ping"])).unwrap();
+        run(&owned(&["client", "--socket", &sock, "stats"])).unwrap();
+        run(&owned(&["client", "--socket", &sock, "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
+        assert!(!std::path::Path::new(&sock).exists(), "socket file cleaned up");
     }
 }

@@ -57,6 +57,7 @@ pub mod affine;
 pub mod analyzer;
 pub mod batch;
 pub mod codegen;
+pub mod digest;
 pub mod hints;
 pub mod looptree;
 pub mod model;
@@ -71,6 +72,7 @@ pub use analyzer::{
     LookupStrategy, RefClass, RefRecord, StreamConfig,
 };
 pub use batch::{analyze_batch, analyze_trace_files, map_ordered, BatchJob};
+pub use digest::StableHasher;
 pub use hints::InlineHint;
 pub use looptree::{LoopTree, NodeId, ROOT};
 pub use minic_sim::Engine;
@@ -81,5 +83,5 @@ pub use report::{CaptureComparison, LoopBreakdown, LoopKind, MemoryBehavior};
 pub use shard::{
     analyze_sharded, analyze_sharded_source, analyze_sharded_with, analyze_streaming,
     analyze_streaming_source, analyze_streaming_with, parse_thread_override, resolve_shards,
-    ShardedAnalyzer, StreamStats,
+    resolve_stream_shards, ShardedAnalyzer, StreamStats, STREAM_AUTO_SHARD_CAP,
 };

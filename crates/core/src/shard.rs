@@ -77,6 +77,42 @@ pub fn parse_thread_override(value: &str) -> Result<usize, String> {
 /// once-per-process warning on stderr, so CI matrix typos surface instead
 /// of quietly running at the wrong width.
 pub fn resolve_shards(requested: usize) -> usize {
+    resolve_shards_capped(requested, usize::MAX)
+}
+
+/// Ceiling applied to *auto-detected* worker counts on the streaming
+/// sharded path (see [`resolve_stream_shards`]).
+///
+/// Every checkpoint is broadcast to every shard, so routed volume — and
+/// the checkpoint replay work — grows linearly with K while one producer
+/// feeds all workers. Past a handful of shards the pipeline only gets
+/// slower (the `fused_exec` bench documents the pathology), so an
+/// unqualified "use the whole machine" default is wrong on many-core
+/// hosts. An explicit `--jobs`/`shards` request, or a `FORAY_TEST_THREADS`
+/// override, is always honored verbatim.
+pub const STREAM_AUTO_SHARD_CAP: usize = 4;
+
+/// [`resolve_shards`] for the streaming pipeline: identical resolution
+/// order (explicit request, then the `FORAY_TEST_THREADS` override, then
+/// available parallelism), but the auto-detected value is capped at
+/// [`STREAM_AUTO_SHARD_CAP`] so service and CLI defaults do not degrade on
+/// many-core hosts. Explicit requests and env overrides are never capped.
+///
+/// # Examples
+///
+/// ```
+/// // Explicit requests pass through uncapped.
+/// assert_eq!(foray::resolve_stream_shards(7), 7);
+/// assert_eq!(foray::resolve_stream_shards(64), 64);
+/// ```
+pub fn resolve_stream_shards(requested: usize) -> usize {
+    resolve_shards_capped(requested, STREAM_AUTO_SHARD_CAP)
+}
+
+/// Shared resolution: explicit request > env override > capped
+/// auto-detection. Only the final auto-detected fallback is capped —
+/// both explicit paths express caller intent and pass through verbatim.
+fn resolve_shards_capped(requested: usize, auto_cap: usize) -> usize {
     if requested > 0 {
         return requested;
     }
@@ -94,7 +130,7 @@ pub fn resolve_shards(requested: usize) -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(auto_cap).max(1)
 }
 
 /// One shard worker's output: its (complete) loop tree, its references
@@ -422,7 +458,7 @@ pub fn analyze_streaming_with<R, E>(
     config: &AnalyzerConfig,
     produce: impl FnOnce(&mut dyn TraceSink) -> Result<R, E>,
 ) -> Result<(Analysis, R, StreamStats), E> {
-    let shards = resolve_shards(config.shards);
+    let shards = resolve_stream_shards(config.shards);
     let block_records = config.stream.block_records.max(1);
     let channel_blocks = config.stream.channel_blocks.max(1);
     // Records in flight past the router: sitting in a channel or being
@@ -586,6 +622,30 @@ mod tests {
     fn resolve_shards_prefers_explicit_request() {
         assert_eq!(resolve_shards(3), 3);
         assert!(resolve_shards(0) >= 1);
+    }
+
+    #[test]
+    fn stream_auto_k_is_capped_but_explicit_requests_are_not() {
+        // Explicit requests pass through uncapped, however large.
+        for k in [1usize, 2, STREAM_AUTO_SHARD_CAP + 3, 64] {
+            assert_eq!(resolve_stream_shards(k), k);
+        }
+        // Auto-detection is capped at STREAM_AUTO_SHARD_CAP unless a
+        // FORAY_TEST_THREADS override (always honored verbatim) asks for
+        // more — compute the admissible ceiling from the live environment
+        // so this test is valid under the CI thread matrix too.
+        let auto = resolve_stream_shards(0);
+        let override_k =
+            std::env::var("FORAY_TEST_THREADS").ok().and_then(|v| parse_thread_override(&v).ok());
+        match override_k {
+            Some(n) => assert_eq!(auto, n, "env override is never capped"),
+            None => assert!(
+                (1..=STREAM_AUTO_SHARD_CAP).contains(&auto),
+                "auto-K {auto} escaped the cap {STREAM_AUTO_SHARD_CAP}"
+            ),
+        }
+        // The capped resolver never widens a request beyond the plain one.
+        assert!(resolve_stream_shards(0) <= resolve_shards(0).max(STREAM_AUTO_SHARD_CAP));
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! The content-addressed result cache: bounded in-memory LRU with an
+//! optional on-disk spill directory.
+//!
+//! Values are the finished jobs' payload strings (model C text, report
+//! JSON, or DSE JSON), keyed by [`crate::key`] digests. Eviction is
+//! least-recently-used by an access tick; the scan to find the victim is
+//! O(entries), a deliberate simplicity trade — the cache is bounded to a
+//! few hundred entries and eviction is rare next to the cost of one
+//! analysis run.
+//!
+//! With a spill directory configured, evicted entries are written to
+//! `<dir>/<key>.json` and a later miss on that key is served by reloading
+//! the file (counted separately as a *disk hit*, and re-inserted into
+//! memory).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Counters describing cache behaviour since startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered (from memory or disk).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// In-memory entries displaced to make room.
+    pub evictions: u64,
+    /// Evicted entries written to the spill directory.
+    pub spills: u64,
+    /// Hits served by reloading a spilled entry from disk.
+    pub disk_hits: u64,
+}
+
+/// Spill-file format tag.
+const SPILL_SCHEMA: &str = "foray-serve-spill/v1";
+
+/// A bounded LRU of job results, keyed by content digest.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: HashMap<String, (Arc<str>, u64)>,
+    capacity: usize,
+    spill_dir: Option<PathBuf>,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries in memory (a capacity of
+    /// zero disables in-memory caching entirely but still spills when a
+    /// directory is set), spilling evictions to `spill_dir` if given.
+    pub fn new(capacity: usize, spill_dir: Option<PathBuf>) -> ResultCache {
+        ResultCache {
+            entries: HashMap::new(),
+            capacity,
+            spill_dir,
+            tick: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency. Falls back to the spill
+    /// directory on a memory miss.
+    pub fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        self.tick += 1;
+        if let Some((value, stamp)) = self.entries.get_mut(key) {
+            *stamp = self.tick;
+            self.counters.hits += 1;
+            return Some(Arc::clone(value));
+        }
+        if let Some(value) = self.load_spilled(key) {
+            self.counters.hits += 1;
+            self.counters.disk_hits += 1;
+            self.insert_inner(key, Arc::clone(&value), false);
+            return Some(value);
+        }
+        self.counters.misses += 1;
+        None
+    }
+
+    /// Stores a freshly computed result.
+    pub fn insert(&mut self, key: &str, value: Arc<str>) {
+        self.counters.insertions += 1;
+        self.insert_inner(key, value, true);
+    }
+
+    /// Current counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Entries resident in memory.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn insert_inner(&mut self, key: &str, value: Arc<str>, spill_on_evict: bool) {
+        if self.capacity == 0 {
+            if spill_on_evict {
+                self.spill(key, &value);
+            }
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(key) && self.entries.len() >= self.capacity {
+            // O(n) victim scan; see the module docs for why that's fine.
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+            {
+                if let Some((evicted, _)) = self.entries.remove(&victim) {
+                    self.counters.evictions += 1;
+                    self.spill(&victim, &evicted);
+                }
+            }
+        }
+        self.entries.insert(key.to_owned(), (value, self.tick));
+    }
+
+    fn spill_path(&self, key: &str) -> Option<PathBuf> {
+        // Keys are 16 hex chars; refuse anything else so a hostile key
+        // can't traverse outside the spill directory.
+        if key.len() != 16 || !key.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        self.spill_dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    fn spill(&mut self, key: &str, value: &str) {
+        let Some(path) = self.spill_path(key) else { return };
+        let body = crate::json::obj([
+            ("schema", crate::json::Json::Str(SPILL_SCHEMA.into())),
+            ("key", crate::json::Json::Str(key.into())),
+            ("result", crate::json::Json::Str(value.into())),
+        ])
+        .render();
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        // Spill failures degrade to a smaller effective cache, never an
+        // error: write to a sibling temp file, then rename for atomicity.
+        let tmp = path.with_extension("tmp");
+        if fs::write(&tmp, body).is_ok() && fs::rename(&tmp, &path).is_ok() {
+            self.counters.spills += 1;
+        }
+    }
+
+    fn load_spilled(&self, key: &str) -> Option<Arc<str>> {
+        let path = self.spill_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        let v = crate::json::Json::parse(&text).ok()?;
+        if v.get("schema").and_then(crate::json::Json::as_str) != Some(SPILL_SCHEMA) {
+            return None;
+        }
+        if v.get("key").and_then(crate::json::Json::as_str) != Some(key) {
+            return None;
+        }
+        v.get("result").and_then(crate::json::Json::as_str).map(Arc::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("foray-serve-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn key(n: u8) -> String {
+        format!("{:016x}", u64::from(n))
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c = ResultCache::new(4, None);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(&key(1), Arc::from("one"));
+        assert_eq!(c.get(&key(1)).as_deref(), Some("one"));
+        let k = c.counters();
+        assert_eq!((k.hits, k.misses, k.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.insert(&key(1), Arc::from("1"));
+        c.insert(&key(2), Arc::from("2"));
+        assert!(c.get(&key(1)).is_some()); // refresh 1; 2 is now LRU
+        c.insert(&key(3), Arc::from("3"));
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evictions_spill_to_disk_and_reload_as_disk_hits() {
+        let dir = temp_dir("spill");
+        let mut c = ResultCache::new(1, Some(dir.clone()));
+        c.insert(&key(1), Arc::from("payload one"));
+        c.insert(&key(2), Arc::from("payload two")); // evicts + spills 1
+        assert_eq!(c.counters().spills, 1);
+        assert_eq!(c.get(&key(1)).as_deref(), Some("payload one"), "reloaded from disk");
+        let k = c.counters();
+        assert_eq!(k.disk_hits, 1);
+        assert_eq!(k.hits, 1);
+        // Reloading evicted 2 (capacity 1), which spilled it in turn.
+        assert_eq!(c.get(&key(2)).as_deref(), Some("payload two"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memory_but_spills_inserts() {
+        let dir = temp_dir("zerocap");
+        let mut c = ResultCache::new(0, Some(dir.clone()));
+        c.insert(&key(7), Arc::from("tiny"));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(&key(7)).as_deref(), Some("tiny"), "served from spill");
+        assert_eq!(c.counters().disk_hits, 1);
+        let _ = fs::remove_dir_all(&dir);
+        let mut bare = ResultCache::new(0, None);
+        bare.insert(&key(8), Arc::from("x"));
+        assert!(bare.get(&key(8)).is_none());
+    }
+
+    #[test]
+    fn hostile_keys_never_touch_the_filesystem() {
+        let dir = temp_dir("hostile");
+        let mut c = ResultCache::new(0, Some(dir.clone()));
+        c.insert("../../etc/passwd", Arc::from("nope"));
+        c.insert("0123456789abcdeZ", Arc::from("nope"));
+        assert_eq!(c.counters().spills, 0);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_files_are_ignored() {
+        let dir = temp_dir("corrupt");
+        fs::write(dir.join(format!("{}.json", key(5))), "{not json").unwrap();
+        fs::write(
+            dir.join(format!("{}.json", key(6))),
+            "{\"schema\":\"other/v9\",\"key\":\"x\",\"result\":\"y\"}",
+        )
+        .unwrap();
+        let mut c = ResultCache::new(2, Some(dir.clone()));
+        assert!(c.get(&key(5)).is_none());
+        assert!(c.get(&key(6)).is_none());
+        assert_eq!(c.counters().misses, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub use foray;
 pub use foray_baseline;
+pub use foray_serve;
 pub use foray_spm;
 pub use foray_workloads;
 pub use minic;
