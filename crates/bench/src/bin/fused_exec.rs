@@ -46,16 +46,11 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    // Default to two shard workers, not auto: every checkpoint is broadcast
-    // to every shard, so routed volume grows linearly with K while the
-    // producer can only feed so many workers. On corpus-scale traces two
-    // workers already hide the analysis behind the VM; `--jobs 0` asks for
-    // one worker per core anyway.
     let mut args = Args {
         workload: "fftc".to_owned(),
         scale: 2,
         iters: 20,
-        jobs: 2,
+        jobs: 0,
         block: 0,
         json: None,
         check_overhead: None,

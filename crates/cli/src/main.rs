@@ -131,7 +131,7 @@ serve flags:
                (default 64, overflow is a typed queue_full rejection);
   --cache N    in-memory result-cache entries (default 128); --spill DIR
                spills evictions to disk; --jobs N analysis shards per job
-               (default auto, capped)
+               (default: available parallelism)
 
 client notes:
   submit waits and prints the result payload verbatim (byte-comparable

@@ -35,7 +35,7 @@
 //! usually excluding the reference. We preserve that behaviour; see
 //! `rebase_collapses_window_for_late_first_observation` below.
 
-use std::collections::HashSet;
+use crate::footprint::Footprint;
 
 /// A coefficient: `None` is the paper's `UNKNOWN`.
 pub type Coeff = Option<i64>;
@@ -65,7 +65,7 @@ pub struct AffineState {
     /// Mispredictions (Step 6 firings).
     mispredictions: u64,
     /// Distinct addresses touched (footprint), if tracking is enabled.
-    footprint: Option<HashSet<u32>>,
+    footprint: Option<Footprint>,
 }
 
 impl AffineState {
@@ -78,7 +78,7 @@ impl AffineState {
     /// Panics if `iters.len() != n`.
     pub fn first(n: u32, iters: &[i64], addr: u32, track_footprint: bool) -> Self {
         assert_eq!(iters.len(), n as usize, "iterator vector must match nest level");
-        let mut footprint = track_footprint.then(HashSet::new);
+        let mut footprint = track_footprint.then(Footprint::new);
         if let Some(fp) = footprint.as_mut() {
             fp.insert(addr);
         }
@@ -120,34 +120,61 @@ impl AffineState {
         }
         let ind = addr as i64;
 
-        // Step 2: iterators that changed while their coefficient is unknown.
+        // Step 2 fused with an incremental Step 5: one pass counts the
+        // unknown-coefficient iterators that changed (`h`, Step 2) while
+        // accumulating the known-coefficient prediction delta. Invariant:
+        // whenever the reference is analyzable, the previous Step 5/6 left
+        // `KONST + Σ_known C_i·ITP_i == INDP` (a correct prediction ends
+        // there by definition; a misprediction re-bases KONST to restore
+        // it), so the paper's `INDC = KONST + Σ C_i·IT_i` equals
+        // `INDP + Σ_known C_i·(IT_i − ITP_i)` exactly.
         let mut h = 0u32;
         let mut k = usize::MAX;
+        let mut dpred = 0i64;
         for i in 0..self.n as usize {
-            if iters[i] != self.itp[i] && self.coeffs[i].is_none() {
-                h += 1;
-                k = i;
+            let d = iters[i] - self.itp[i];
+            if d != 0 {
+                match self.coeffs[i] {
+                    Some(c) => dpred += c * d,
+                    None => {
+                        h += 1;
+                        k = i;
+                    }
+                }
             }
         }
 
         match h {
-            0 => {}
-            1 => {
-                // Step 3: solve C_k from the delta, compensating the
-                // contribution of changed iterators with known coefficients.
-                let mut adj = 0i64;
-                for i in 0..self.n as usize {
-                    if i != k && iters[i] != self.itp[i] {
-                        if let Some(c) = self.coeffs[i] {
-                            adj += c * (iters[i] - self.itp[i]);
-                        }
-                    }
+            0 => {
+                // No unknowns changed: predict incrementally (Step 5) and
+                // re-base on a miss (Step 6). This is the per-access hot
+                // path; everything below runs at most once per coefficient.
+                let indc = self.indp + dpred;
+                if indc != ind {
+                    self.mispredict(iters, ind, indc);
                 }
-                let num = ind - adj - self.indp;
+            }
+            1 => {
+                // Step 3: solve C_k from the delta; `dpred` already holds
+                // the compensation term ADJ (changed iterators with known
+                // coefficients — unknowns contribute nothing to it).
+                let num = ind - dpred - self.indp;
                 let den = iters[k] - self.itp[k];
                 debug_assert_ne!(den, 0);
                 if num % den == 0 {
                     self.coeffs[k] = Some(num / den);
+                    // Step 5 in full: the just-solved coefficient was not
+                    // part of the invariant sum, so the incremental form
+                    // does not apply on this execution.
+                    let mut indc = self.konst;
+                    for i in 0..self.n as usize {
+                        if let Some(c) = self.coeffs[i] {
+                            indc += c * iters[i];
+                        }
+                    }
+                    if indc != ind {
+                        self.mispredict(iters, ind, indc);
+                    }
                 } else {
                     self.non_analyzable = true;
                 }
@@ -158,37 +185,28 @@ impl AffineState {
             }
         }
 
-        if !self.non_analyzable {
-            // Step 5: predict.
-            let mut indc = self.konst;
-            for i in 0..self.n as usize {
-                if let Some(c) = self.coeffs[i] {
-                    indc += c * iters[i];
-                }
-            }
-            // Step 6: on misprediction, re-base CONST and shrink the
-            // partial window to the iterators that changed in *every*
-            // misprediction so far.
-            if indc != ind {
-                self.mispredictions += 1;
-                for i in 0..self.n as usize {
-                    if iters[i] == self.itp[i] {
-                        self.s[i] = true;
-                    }
-                }
-                self.konst += ind - indc;
-                let mut m = 0u32;
-                for i in 0..self.n as usize {
-                    if !self.s[i] {
-                        m = i as u32; // M = i-1 with 1-based i.
-                    }
-                }
-                self.m = m;
-            }
-        }
-
         self.itp.copy_from_slice(iters);
         self.indp = ind;
+    }
+
+    /// Step 6: re-base CONST and shrink the partial window to the
+    /// iterators that changed in *every* misprediction so far.
+    #[cold]
+    fn mispredict(&mut self, iters: &[i64], ind: i64, indc: i64) {
+        self.mispredictions += 1;
+        for (i, (&it, &itp)) in iters.iter().zip(&self.itp).enumerate().take(self.n as usize) {
+            if it == itp {
+                self.s[i] = true;
+            }
+        }
+        self.konst += ind - indc;
+        let mut m = 0u32;
+        for i in 0..self.n as usize {
+            if !self.s[i] {
+                m = i as u32; // M = i-1 with 1-based i.
+            }
+        }
+        self.m = m;
     }
 
     /// Nest level `N`.
@@ -236,12 +254,12 @@ impl AffineState {
     /// Distinct addresses touched (the paper's `Nloc` filter input), if
     /// tracking was enabled.
     pub fn footprint(&self) -> Option<u64> {
-        self.footprint.as_ref().map(|s| s.len() as u64)
+        self.footprint.as_ref().map(Footprint::len)
     }
 
     /// The footprint address set itself, if tracking was enabled (used to
     /// union footprints per reference class for Table III).
-    pub fn footprint_addrs(&self) -> Option<&HashSet<u32>> {
+    pub fn footprint_addrs(&self) -> Option<&Footprint> {
         self.footprint.as_ref()
     }
 

@@ -8,7 +8,9 @@
 //! type via [`Analyzer::consume`].
 
 use crate::affine::AffineState;
+use crate::fasthash::FastMap;
 use crate::looptree::{LoopTree, NodeId};
+use minic::{CheckpointKind, LoopId};
 use minic_trace::{
     layout, Access, AccessKind, InstrAddr, Record, RecordSource, SampleSpec, SampleState, TraceSink,
 };
@@ -17,48 +19,202 @@ use std::collections::HashMap;
 /// How the analyzer finds the reference record for an incoming access.
 ///
 /// The paper argues average-constant complexity "if we use hash tables for
-/// the searches"; [`LookupStrategy::Linear`] exists to measure the
-/// alternative (see the `lookup_ablation` bench).
+/// the searches"; we go one step further: the simulator's instruction
+/// addresses are *dense* (user sites at `CODE_BASE + 4·site`, library and
+/// frame sites likewise stride-packed), so [`LookupStrategy::Dense`] — the
+/// default — replaces the hash with a bounds-checked array index plus a
+/// last-instruction memo. [`LookupStrategy::Hash`] (the paper's choice) and
+/// [`LookupStrategy::Linear`] remain for the `lookup_ablation` bench.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LookupStrategy {
-    /// Hash map keyed by `(node, instruction)` — the paper's choice.
+    /// Instruction-indexed side tables (dense synthetic address ranges)
+    /// with a spill hash for unaligned or out-of-range addresses.
     #[default]
+    Dense,
+    /// Hash map keyed by `(node, instruction)` — the paper's choice.
     Hash,
     /// Linear scan of the current node's reference list.
     Linear,
 }
 
+/// Per-range slot cap for the dense tables (256 Ki slots ≈ 2 MiB fully
+/// grown); instruction addresses mapping past the cap fall back to the
+/// spill hash, so arbitrary `u32` addresses stay correct, just slower.
+const DENSE_SLOTS_CAP: usize = 1 << 18;
+
+/// One dense-table slot: the loop-tree context that most recently resolved
+/// this instruction, and its reference index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DenseSlot {
+    node: NodeId,
+    index: u32,
+}
+
+/// `NodeId(u32::MAX)` cannot occur in a real tree (the arena would need
+/// 2^32 nodes), so it marks an empty slot.
+const EMPTY_SLOT: DenseSlot = DenseSlot { node: NodeId(u32::MAX), index: u32::MAX };
+
+/// Which dense range an instruction address falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DenseRange {
+    Lib,
+    User,
+    Frame,
+}
+
+/// Maps a 4-aligned synthetic instruction address to its dense range and
+/// slot; `None` routes to the spill hash.
+#[inline]
+fn dense_slot(instr: u32) -> Option<(DenseRange, usize)> {
+    if instr & 3 != 0 {
+        return None;
+    }
+    let (range, base) = if (layout::CODE_BASE..layout::FRAME_CODE_BASE).contains(&instr) {
+        (DenseRange::User, layout::CODE_BASE)
+    } else if (layout::LIB_CODE_BASE..layout::LIB_CODE_END).contains(&instr) {
+        (DenseRange::Lib, layout::LIB_CODE_BASE)
+    } else if (layout::FRAME_CODE_BASE..layout::GLOBAL_BASE).contains(&instr) {
+        (DenseRange::Frame, layout::FRAME_CODE_BASE)
+    } else {
+        return None;
+    };
+    let slot = ((instr - base) >> 2) as usize;
+    (slot < DENSE_SLOTS_CAP).then_some((range, slot))
+}
+
+/// The dense dispatch tables: one lazily-grown slot array per synthetic
+/// instruction range, and a spill hash for everything else — unaligned
+/// addresses, addresses outside every range, and *additional* loop-tree
+/// contexts of an instruction whose slot is already taken (the multi-hit
+/// path promotes the requested context back into the slot, so the common
+/// context always costs one array index).
+#[derive(Debug, Clone, Default)]
+struct DenseTables {
+    lib: Vec<DenseSlot>,
+    user: Vec<DenseSlot>,
+    frame: Vec<DenseSlot>,
+    spill: FastMap<(u32, NodeId), u32>,
+}
+
+impl DenseTables {
+    fn table_mut(&mut self, range: DenseRange) -> &mut Vec<DenseSlot> {
+        match range {
+            DenseRange::Lib => &mut self.lib,
+            DenseRange::User => &mut self.user,
+            DenseRange::Frame => &mut self.frame,
+        }
+    }
+
+    /// Finds the reference index for `(instr, node)`, if one was inserted.
+    #[inline]
+    fn get(&mut self, instr: u32, node: NodeId) -> Option<u32> {
+        match dense_slot(instr) {
+            Some((range, slot)) => {
+                let table = self.table_mut(range);
+                if slot >= table.len() {
+                    return None;
+                }
+                let e = table[slot];
+                if e.node == node {
+                    return Some(e.index);
+                }
+                if e == EMPTY_SLOT {
+                    return None;
+                }
+                // Same instruction, different loop-tree context: consult
+                // the spill and swap the contexts so the one in use stays
+                // on the fast path (move-to-front).
+                let index = self.spill.remove(&(instr, node))?;
+                self.spill.insert((instr, e.node), e.index);
+                self.table_mut(range)[slot] = DenseSlot { node, index };
+                Some(index)
+            }
+            None => self.spill.get(&(instr, node)).copied(),
+        }
+    }
+
+    /// Records a newly created reference. Each `(instr, node)` pair lives
+    /// in exactly one place: its range slot if free, else the spill.
+    fn insert(&mut self, instr: u32, node: NodeId, index: u32) {
+        match dense_slot(instr) {
+            Some((range, slot)) => {
+                let table = self.table_mut(range);
+                if slot >= table.len() {
+                    table.resize(slot + 1, EMPTY_SLOT);
+                }
+                if table[slot] == EMPTY_SLOT {
+                    table[slot] = DenseSlot { node, index };
+                } else {
+                    self.spill.insert((instr, node), index);
+                }
+            }
+            None => {
+                self.spill.insert((instr, node), index);
+            }
+        }
+    }
+}
+
+/// The last resolved access: hot loops hammer one instruction from one
+/// tree position, so this answers most lookups with two compares.
+#[derive(Debug, Clone, Copy)]
+struct LastMemo {
+    instr: u32,
+    node: NodeId,
+    index: u32,
+}
+
+impl Default for LastMemo {
+    fn default() -> Self {
+        // `u32::MAX` is unaligned, so it can never equal a dense-range
+        // instruction, and `NodeId(u32::MAX)` never names a real node —
+        // the memo starts inert without an `Option` on the hot path.
+        LastMemo { instr: u32::MAX, node: NodeId(u32::MAX), index: u32::MAX }
+    }
+}
+
 /// Tuning for the pipelined streaming sharded path
-/// ([`crate::shard::analyze_streaming_with`]): how many records one routed
+/// ([`crate::shard::analyze_streaming_with`]): how many items one routed
 /// block carries and how many blocks each worker's bounded channel holds.
 ///
-/// Peak buffered memory is `shards x block_records x (channel_blocks + 3)`
-/// records (router stubs + a block awaiting hand-off + channel occupancy
-/// plus the block each worker is replaying) — independent of trace length.
-/// When a worker lags, its channel fills and the producer blocks on the
-/// next hand-off: natural backpressure instead of unbounded queueing.
+/// Peak buffered memory is
+/// `(shards x (channel_blocks + 3) + 1) x block_records` items — per
+/// shard: a staging stub, a block awaiting hand-off, the channel
+/// occupancy, and the block being replayed; plus one block's worth of
+/// entries in the shared compacted context log — independent of trace
+/// length. When a worker lags, its channel fills and the producer blocks
+/// on the next hand-off: natural backpressure instead of unbounded
+/// queueing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamConfig {
-    /// Records per routed block (larger amortizes channel overhead,
+    /// Items per routed block (larger amortizes channel overhead,
     /// smaller tightens the memory cap and latency).
     pub block_records: usize,
     /// Bounded-channel capacity per worker, in blocks.
     pub channel_blocks: usize,
+    /// Spawn worker threads even when the machine exposes a single
+    /// hardware thread. By default a single-context machine gets the
+    /// inline schedule — the sequential analyzer applied on the producing
+    /// thread, byte-identical by the ordinal-merge invariant (worker
+    /// threads could only time-slice the one core, so routing and
+    /// hand-off would buy pure overhead). The equivalence tests force
+    /// threads to keep the hand-off path covered everywhere.
+    pub force_worker_threads: bool,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { block_records: 4096, channel_blocks: 2 }
+        StreamConfig { block_records: 4096, channel_blocks: 2, force_worker_threads: false }
     }
 }
 
 impl StreamConfig {
-    /// The worst-case number of records buffered anywhere in the streaming
-    /// pipeline for `shards` workers (see the type docs for the terms).
+    /// The worst-case number of record-sized items buffered anywhere in
+    /// the streaming pipeline for `shards` workers (see the type docs for
+    /// the terms).
     pub fn max_buffered_records(&self, shards: usize) -> u64 {
-        (shards as u64)
+        ((shards as u64) * (self.channel_blocks.max(1) as u64 + 3) + 1)
             * (self.block_records.max(1) as u64)
-            * (self.channel_blocks.max(1) as u64 + 3)
     }
 }
 
@@ -87,7 +243,7 @@ impl Default for AnalyzerConfig {
     fn default() -> Self {
         AnalyzerConfig {
             track_footprint: true,
-            lookup: LookupStrategy::Hash,
+            lookup: LookupStrategy::Dense,
             shards: 0,
             sample: SampleSpec::Full,
             stream: StreamConfig::default(),
@@ -144,11 +300,18 @@ pub struct RefRecord {
 pub struct Analyzer {
     tree: LoopTree,
     refs: Vec<RefRecord>,
+    dense: DenseTables,
+    memo: LastMemo,
     by_key: HashMap<(NodeId, InstrAddr), usize>,
     by_node: HashMap<NodeId, Vec<usize>>,
     config: AnalyzerConfig,
     sample: SampleState,
     iters_buf: Vec<i64>,
+    /// Whether `iters_buf` holds the current node's iterator vector. The
+    /// walker only moves — and iterators only change — at checkpoints, so
+    /// the vector is computed once per checkpoint interval instead of once
+    /// per access.
+    iters_valid: bool,
     accesses: u64,
 }
 
@@ -182,17 +345,60 @@ impl Analyzer {
         self.refs.len()
     }
 
-    fn on_access(&mut self, a: &Access) {
+    /// Applies `runs` empty body iterations of `loop_id` in one step —
+    /// the analyzer-side consumer of [`minic_trace::BlockItem::IterRun`],
+    /// byte-identical to feeding the expanded `(BodyBegin; BodyEnd)`
+    /// checkpoint pairs (see [`LoopTree::on_body_run`]).
+    pub fn body_run(&mut self, loop_id: LoopId, runs: u32) {
+        let before = self.tree.current();
+        self.tree.on_body_run(loop_id, runs);
+        // The run only mutates the iterated loop's own node, and the walker
+        // finishes at that node's *parent* — so when the walker ends where
+        // it started, no node on the current path changed and the cached
+        // iterator vector is still exact. (The self-nested climb case moves
+        // the walker, which forces the recompute.)
+        if self.tree.current() != before {
+            self.iters_valid = false;
+        }
+    }
+
+    /// Applies one checkpoint without going through a [`Record`] — the
+    /// streaming shard replay calls this and [`Self::on_access`] directly.
+    pub(crate) fn on_checkpoint(&mut self, loop_id: LoopId, kind: CheckpointKind) {
+        self.tree.on_checkpoint(loop_id, kind);
+        self.iters_valid = false;
+    }
+
+    /// Applies one access; returns whether it created a new reference (the
+    /// sharded driver stamps first-observation ordinals off this signal
+    /// without re-reading the reference count around every access).
+    pub(crate) fn on_access(&mut self, a: &Access) -> bool {
         // Sampling lives here, not in a wrapping sink, so every path —
         // sequential, buffered sharded, streaming sharded — makes the same
         // per-reference decisions (rejected accesses create no reference,
         // keeping the sharded first-observation ordinals aligned too).
         if !self.sample.accept(a) {
-            return;
+            return false;
         }
         self.accesses += 1;
         let node = self.tree.current();
+        if !self.iters_valid {
+            self.iters_buf.clear();
+            collect_iters(&self.tree, node, &mut self.iters_buf);
+            self.iters_valid = true;
+        }
         let idx = match self.config.lookup {
+            LookupStrategy::Dense => {
+                if self.memo.instr == a.instr.0 && self.memo.node == node {
+                    Some(self.memo.index as usize)
+                } else {
+                    let found = self.dense.get(a.instr.0, node);
+                    if let Some(index) = found {
+                        self.memo = LastMemo { instr: a.instr.0, node, index };
+                    }
+                    found.map(|i| i as usize)
+                }
+            }
             LookupStrategy::Hash => self.by_key.get(&(node, a.instr)).copied(),
             LookupStrategy::Linear => self
                 .by_node
@@ -201,18 +407,15 @@ impl Analyzer {
         };
         match idx {
             Some(i) => {
-                self.iters_buf.clear();
-                collect_iters(&self.tree, node, &mut self.iters_buf);
                 let rec = &mut self.refs[i];
                 rec.state.observe(&self.iters_buf, a.addr.0);
                 match a.kind {
                     AccessKind::Read => rec.reads += 1,
                     AccessKind::Write => rec.writes += 1,
                 }
+                false
             }
             None => {
-                self.iters_buf.clear();
-                collect_iters(&self.tree, node, &mut self.iters_buf);
                 let depth = self.tree.node(node).depth;
                 let state = AffineState::first(
                     depth,
@@ -235,6 +438,10 @@ impl Analyzer {
                     class: RefClass::of(a.instr),
                 });
                 match self.config.lookup {
+                    LookupStrategy::Dense => {
+                        self.dense.insert(a.instr.0, node, i as u32);
+                        self.memo = LastMemo { instr: a.instr.0, node, index: i as u32 };
+                    }
                     LookupStrategy::Hash => {
                         self.by_key.insert((node, a.instr), i);
                     }
@@ -242,6 +449,7 @@ impl Analyzer {
                         self.by_node.entry(node).or_default().push(i);
                     }
                 }
+                true
             }
         }
     }
@@ -262,8 +470,10 @@ fn collect_iters(tree: &LoopTree, node: NodeId, buf: &mut Vec<i64>) {
 impl TraceSink for Analyzer {
     fn record(&mut self, rec: &Record) {
         match rec {
-            Record::Checkpoint { loop_id, kind } => self.tree.on_checkpoint(*loop_id, *kind),
-            Record::Access(a) => self.on_access(a),
+            Record::Checkpoint { loop_id, kind } => self.on_checkpoint(*loop_id, *kind),
+            Record::Access(a) => {
+                self.on_access(a);
+            }
         }
     }
 }
@@ -432,15 +642,62 @@ mod tests {
     }
 
     #[test]
-    fn hash_and_linear_lookup_agree() {
+    fn all_lookup_strategies_agree() {
         let trace = figure4_trace();
-        let a = analyze_with(&trace, AnalyzerConfig::default());
-        let b = analyze_with(
-            &trace,
-            AnalyzerConfig { lookup: LookupStrategy::Linear, ..AnalyzerConfig::default() },
+        let dense = analyze_with(&trace, AnalyzerConfig::default());
+        for lookup in [LookupStrategy::Hash, LookupStrategy::Linear] {
+            let other =
+                analyze_with(&trace, AnalyzerConfig { lookup, ..AnalyzerConfig::default() });
+            assert_eq!(dense, other, "{lookup:?} diverged from Dense");
+        }
+    }
+
+    /// Unaligned and out-of-range instruction addresses can never use a
+    /// dense slot; the spill hash must keep them exactly equivalent to the
+    /// plain hash strategy.
+    #[test]
+    fn dense_spill_handles_arbitrary_instruction_addresses() {
+        let mut t = vec![Record::checkpoint(0, LB)];
+        for i in 0..6u32 {
+            t.push(Record::checkpoint(0, BB));
+            for instr in [0x400001u32, 0x400002, 0x1234_5677, u32::MAX, 0] {
+                t.push(Record::access(instr, 0x1000 + 8 * i, AccessKind::Read));
+            }
+            t.push(Record::checkpoint(0, BE));
+        }
+        let dense = analyze_with(&t, AnalyzerConfig::default());
+        let hash = analyze_with(
+            &t,
+            AnalyzerConfig { lookup: LookupStrategy::Hash, ..AnalyzerConfig::default() },
         );
-        assert_eq!(a.refs().len(), b.refs().len());
-        assert_eq!(a.refs()[0].state, b.refs()[0].state);
+        assert_eq!(dense, hash);
+        assert_eq!(dense.refs().len(), 5);
+    }
+
+    /// One instruction alternating between two loop-tree contexts per
+    /// iteration exercises the dense slot's promote/demote path on every
+    /// other access.
+    #[test]
+    fn dense_multi_context_promotion_stays_identical() {
+        let mut t = Vec::new();
+        for round in 0..4u32 {
+            for outer in [0u32, 1] {
+                t.push(Record::checkpoint(outer, LB));
+                t.push(Record::checkpoint(outer, BB));
+                t.push(Record::checkpoint(9, LB));
+                t.push(Record::checkpoint(9, BB));
+                t.push(Record::access(0x400010, 0x1000 + 4 * round, AccessKind::Read));
+                t.push(Record::checkpoint(9, BE));
+                t.push(Record::checkpoint(outer, BE));
+            }
+        }
+        let dense = analyze_with(&t, AnalyzerConfig::default());
+        let hash = analyze_with(
+            &t,
+            AnalyzerConfig { lookup: LookupStrategy::Hash, ..AnalyzerConfig::default() },
+        );
+        assert_eq!(dense, hash);
+        assert_eq!(dense.refs().len(), 2, "one reference per inlined context");
     }
 
     #[test]

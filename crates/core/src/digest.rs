@@ -219,7 +219,11 @@ mod tests {
         assert_eq!(
             hex(&base),
             hex(&AnalyzerConfig {
-                stream: crate::StreamConfig { block_records: 1, channel_blocks: 9 },
+                stream: crate::StreamConfig {
+                    block_records: 1,
+                    channel_blocks: 9,
+                    ..crate::StreamConfig::default()
+                },
                 ..base.clone()
             })
         );

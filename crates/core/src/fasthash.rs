@@ -1,0 +1,145 @@
+//! Fast, non-cryptographic hashing for internal hot-path containers.
+//!
+//! The analyzer inserts into per-reference footprint sets on *every*
+//! access (Algorithm 3 runs per record), and `std`'s default SipHash —
+//! built to resist adversarial collisions in long-lived user-facing maps —
+//! costs more than the rest of Step 2–6 combined on small integer keys.
+//! These containers are internal, bounded by the program being analyzed,
+//! and never keyed on untrusted input, so a multiplicative hash (the
+//! Firefox `FxHasher` construction) is the right trade.
+//!
+//! Swapping a `HashSet`/`HashMap` hasher never changes analysis output:
+//! the containers are consumed only through order-independent operations
+//! (`len`, membership, unioning), a property the equivalence suites lock.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// The 64-bit `FxHasher` multiplier (golden-ratio derived).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Multiplicative word-at-a-time hasher. Not collision-resistant against
+/// adversaries — internal keys only (see the module docs).
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        // Length-mix so `[1, 0]` and `[1]` differ.
+        self.add(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FastHasher`] (stateless, so every map/set with
+/// this build hasher hashes identically).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FastBuild;
+
+impl BuildHasher for FastBuild {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastSet<T> = HashSet<T, FastBuild>;
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FastBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_map_behave_like_std() {
+        let mut s: FastSet<u32> = FastSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+        assert_eq!(s.len(), 1);
+
+        let mut m: FastMap<(u32, u32), u32> = FastMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), None);
+    }
+
+    #[test]
+    fn small_integer_keys_spread() {
+        // Sanity: sequential small keys must not collapse onto one bucket
+        // pattern (the failure mode of a plain identity hash).
+        let hashes: Vec<u64> = (0u32..64)
+            .map(|k| {
+                let mut h = FastBuild.build_hasher();
+                h.write_u32(k);
+                h.finish()
+            })
+            .collect();
+        let mut uniq = hashes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), hashes.len());
+        // High bits vary too (hashbrown uses the top bits for control).
+        let tops: FastSet<u8> = hashes.iter().map(|h| (h >> 57) as u8).collect();
+        assert!(tops.len() > 16, "top-bit spread too weak: {}", tops.len());
+    }
+
+    #[test]
+    fn byte_writes_are_length_mixed() {
+        let h1 = {
+            let mut h = FastBuild.build_hasher();
+            h.write(&[1, 0]);
+            h.finish()
+        };
+        let h2 = {
+            let mut h = FastBuild.build_hasher();
+            h.write(&[1]);
+            h.finish()
+        };
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,325 @@
+//! Paged-bitmap address sets for footprint tracking.
+//!
+//! Algorithm 3 tracks each reference's *footprint* — the count of distinct
+//! addresses it touches — which naively costs one hash-set insert per
+//! access, the single largest line item on the analyzer hot path. Real
+//! reference footprints are extremely local (affine references walk
+//! arrays), so this set stores membership as 64-address bitmap pages keyed
+//! by `addr >> 6`, with the most recent page cached inline: a strided
+//! reference pays a register `OR` per access and only touches the page
+//! store on a *page transition*. The store itself exploits the same
+//! locality twice over: pages near the reference's first flushed page live
+//! in a dense `Vec<u64>` span (a transition is two indexed loads), and
+//! only pages beyond `DENSE_SPAN` fall back to a hash map.
+//!
+//! The representation is observationally identical to a `HashSet<u32>`:
+//! only cardinality ([`Footprint::len`]), membership, unioning, and
+//! (order-insensitive) equality are exposed, so swapping it in cannot
+//! change analysis output bytes.
+
+use crate::fasthash::FastMap;
+
+/// Widest page span (in 64-address pages) the dense vector may cover —
+/// 64 Ki addresses, an 8 KiB bitmap when fully grown. References that
+/// stray farther from their anchor spill to the hash map.
+const DENSE_SPAN: usize = 1024;
+
+/// Extra downward slack (in pages) taken when the span re-anchors below
+/// `base`, so descending walks prepend in chunks instead of per page.
+const DOWN_SLACK: usize = 64;
+
+/// A set of `u32` addresses as 64-bit bitmap pages with a one-page inline
+/// cache (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// First page of the dense span (meaningful once `dense` is
+    /// non-empty; anchored by the first page flush).
+    base: u32,
+    /// Bitmaps for pages `base .. base + dense.len()`. An entry may be a
+    /// stale *subset* of the true page (the rest lives in `cur_bits` or
+    /// arrived in `spill` before a re-anchor); every reader ORs sources.
+    dense: Vec<u64>,
+    /// Pages outside the dense span. Monotone under insert, so a stale
+    /// entry is always a subset of the dense/cached bits for that page.
+    spill: FastMap<u32, u64>,
+    /// Cached page index (bits live in `cur_bits`, a superset of any
+    /// stored entry for the same page).
+    cur_page: u32,
+    /// Cached page bitmap.
+    cur_bits: u64,
+    /// Exact cardinality, maintained on insert.
+    len: u64,
+}
+
+impl Footprint {
+    /// Creates an empty set.
+    pub fn new() -> Footprint {
+        Footprint::default()
+    }
+
+    /// Inserts an address. O(1); touches the page store only on a page
+    /// transition.
+    #[inline]
+    pub fn insert(&mut self, addr: u32) {
+        let page = addr >> 6;
+        if page != self.cur_page {
+            self.switch_page(page);
+        }
+        let mask = 1u64 << (addr & 63);
+        if self.cur_bits & mask == 0 {
+            self.cur_bits |= mask;
+            self.len += 1;
+        }
+    }
+
+    /// Flushes the cached page and loads `page` into the cache.
+    #[cold]
+    fn switch_page(&mut self, page: u32) {
+        if self.cur_bits != 0 {
+            let cur = self.cur_page;
+            let bits = self.cur_bits;
+            *self.slot(cur) = bits;
+        }
+        self.cur_page = page;
+        self.cur_bits = self.load(page);
+    }
+
+    /// The store location for `page`, growing or re-anchoring the dense
+    /// span when the page is within `DENSE_SPAN` of it.
+    fn slot(&mut self, page: u32) -> &mut u64 {
+        if self.dense.is_empty() {
+            // First flush anchors the span.
+            self.base = page;
+            self.dense.resize(8.min(DENSE_SPAN), 0);
+            return &mut self.dense[0];
+        }
+        if page >= self.base {
+            let idx = (page - self.base) as usize;
+            if idx < self.dense.len() {
+                return &mut self.dense[idx];
+            }
+            if idx < DENSE_SPAN {
+                let want = (idx + 1).next_power_of_two().min(DENSE_SPAN);
+                self.dense.resize(want, 0);
+                return &mut self.dense[idx];
+            }
+        } else {
+            let shift = (self.base - page) as usize;
+            if shift + self.dense.len() <= DENSE_SPAN {
+                // Re-anchor downward with slack so a descending walk
+                // prepends in chunks, not per page.
+                let slack =
+                    (DENSE_SPAN - shift - self.dense.len()).min(DOWN_SLACK).min(page as usize);
+                let grow = shift + slack;
+                self.dense.splice(0..0, std::iter::repeat_n(0, grow));
+                self.base -= grow as u32;
+                return &mut self.dense[slack];
+            }
+        }
+        self.spill.entry(page).or_insert(0)
+    }
+
+    /// The full stored bitmap for `page` (dense ∪ spill; the cache is the
+    /// caller's concern).
+    fn load(&self, page: u32) -> u64 {
+        let mut bits = 0;
+        if page >= self.base {
+            if let Some(&d) = self.dense.get((page - self.base) as usize) {
+                bits = d;
+            }
+        }
+        if !self.spill.is_empty() {
+            if let Some(&s) = self.spill.get(&page) {
+                bits |= s;
+            }
+        }
+        bits
+    }
+
+    /// Number of distinct addresses inserted.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, addr: u32) -> bool {
+        let page = addr >> 6;
+        let bits = if page == self.cur_page { self.cur_bits } else { self.load(page) };
+        bits & (1u64 << (addr & 63)) != 0
+    }
+
+    /// The canonical page map: every source ORed in, empty pages dropped.
+    fn merged(&self) -> FastMap<u32, u64> {
+        let mut m = FastMap::default();
+        self.union_into(&mut m);
+        m
+    }
+
+    /// Iterates all member addresses (unordered across pages).
+    pub fn iter(&self) -> impl Iterator<Item = u32> {
+        self.merged().into_iter().flat_map(|(page, bits)| {
+            (0u32..64).filter(move |b| bits & (1u64 << b) != 0).map(move |b| (page << 6) | b)
+        })
+    }
+
+    /// ORs this set's pages into a page-map accumulator — the bulk union
+    /// the Table III report rows build per reference class.
+    pub fn union_into(&self, acc: &mut FastMap<u32, u64>) {
+        for (i, &bits) in self.dense.iter().enumerate() {
+            if bits != 0 {
+                *acc.entry(self.base + i as u32).or_insert(0) |= bits;
+            }
+        }
+        for (&page, &bits) in &self.spill {
+            if bits != 0 {
+                *acc.entry(page).or_insert(0) |= bits;
+            }
+        }
+        if self.cur_bits != 0 {
+            *acc.entry(self.cur_page).or_insert(0) |= self.cur_bits;
+        }
+    }
+
+    /// Cardinality of a [`Self::union_into`] accumulator.
+    pub fn union_len(acc: &FastMap<u32, u64>) -> u64 {
+        acc.values().map(|bits| u64::from(bits.count_ones())).sum()
+    }
+}
+
+impl PartialEq for Footprint {
+    fn eq(&self, other: &Footprint) -> bool {
+        // Cache states may differ between observationally equal sets
+        // (different last-touched pages), so compare canonical forms.
+        self.len == other.len && self.merged() == other.merged()
+    }
+}
+
+impl Eq for Footprint {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_len_contains_roundtrip() {
+        let mut fp = Footprint::new();
+        for addr in [0u32, 1, 63, 64, 1 << 20, u32::MAX, 0, 64] {
+            fp.insert(addr);
+        }
+        assert_eq!(fp.len(), 6, "duplicates are not recounted");
+        for addr in [0u32, 1, 63, 64, 1 << 20, u32::MAX] {
+            assert!(fp.contains(addr), "{addr:#x} must be a member");
+        }
+        assert!(!fp.contains(2));
+        assert!(!fp.contains(65));
+        let mut got: Vec<u32> = fp.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 63, 64, 1 << 20, u32::MAX]);
+    }
+
+    #[test]
+    fn page_zero_is_a_real_page() {
+        // The cache starts at page 0 with no bits; inserting to another
+        // page first must not materialize a phantom page-0 entry.
+        let mut fp = Footprint::new();
+        fp.insert(1000);
+        assert_eq!(fp.iter().count(), 1);
+        assert!(!fp.contains(0));
+
+        let mut direct = Footprint::new();
+        direct.insert(1000);
+        assert_eq!(fp, direct);
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        // Same members, different insertion order => different cached
+        // pages, equal sets.
+        let mut a = Footprint::new();
+        let mut b = Footprint::new();
+        for addr in [10u32, 1000, 10] {
+            a.insert(addr);
+        }
+        for addr in [1000u32, 10, 1000] {
+            b.insert(addr);
+        }
+        assert_eq!(a, b);
+        b.insert(11);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn union_matches_per_set_members() {
+        let mut a = Footprint::new();
+        let mut b = Footprint::new();
+        for addr in 0u32..100 {
+            a.insert(addr * 4);
+            b.insert(addr * 4 + 200);
+        }
+        let mut acc = FastMap::default();
+        a.union_into(&mut acc);
+        b.union_into(&mut acc);
+        let mut want: Vec<u32> = a.iter().chain(b.iter()).collect();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(Footprint::union_len(&acc), want.len() as u64);
+    }
+
+    #[test]
+    fn spilled_and_reanchored_pages_agree_with_a_hash_set() {
+        // Far jumps force spill entries, descending runs force downward
+        // re-anchors, and revisits hit pages that live in both stores
+        // (spill entries going stale as subsets of later dense bits).
+        let mut fp = Footprint::new();
+        let mut reference = std::collections::HashSet::new();
+        let mut ins = |fp: &mut Footprint, addr: u32| {
+            fp.insert(addr);
+            reference.insert(addr);
+        };
+        for i in 0..200u32 {
+            ins(&mut fp, 0x4000_0000 + i * 64); // anchor region, ascending
+            ins(&mut fp, 0x7fff_0000u32.wrapping_sub(i * 64)); // spill, descending
+            ins(&mut fp, 0x4000_0000u32.wrapping_sub(i * 96)); // below anchor
+        }
+        for i in 0..200u32 {
+            ins(&mut fp, 0x7fff_0000u32.wrapping_sub(i * 64)); // revisit spill
+        }
+        assert_eq!(fp.len(), reference.len() as u64);
+        let mut got: Vec<u32> = fp.iter().collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = reference.iter().copied().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        for &addr in &want {
+            assert!(fp.contains(addr), "{addr:#x} must be a member");
+        }
+        let mut acc = FastMap::default();
+        fp.union_into(&mut acc);
+        assert_eq!(Footprint::union_len(&acc), want.len() as u64);
+    }
+
+    #[test]
+    fn matches_a_reference_hash_set() {
+        // Pseudo-random walk: paged bitmaps must agree with a plain set.
+        let mut fp = Footprint::new();
+        let mut reference = std::collections::HashSet::new();
+        let mut x = 0x1234_5678u32;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let addr = x % 50_000;
+            fp.insert(addr);
+            reference.insert(addr);
+        }
+        assert_eq!(fp.len(), reference.len() as u64);
+        let mut got: Vec<u32> = fp.iter().collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = reference.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

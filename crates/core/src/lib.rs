@@ -58,6 +58,8 @@ pub mod analyzer;
 pub mod batch;
 pub mod codegen;
 pub mod digest;
+pub mod fasthash;
+pub mod footprint;
 pub mod hints;
 pub mod looptree;
 pub mod model;
@@ -82,6 +84,6 @@ pub use pipeline::{ForayGen, ForayGenOutput, PipelineError, ShardMode};
 pub use report::{CaptureComparison, LoopBreakdown, LoopKind, MemoryBehavior};
 pub use shard::{
     analyze_sharded, analyze_sharded_source, analyze_sharded_with, analyze_streaming,
-    analyze_streaming_source, analyze_streaming_with, parse_thread_override, resolve_shards,
-    resolve_stream_shards, ShardedAnalyzer, StreamStats, STREAM_AUTO_SHARD_CAP,
+    analyze_streaming_produce, analyze_streaming_source, analyze_streaming_with,
+    parse_thread_override, resolve_shards, RecordProducer, ShardedAnalyzer, StreamStats,
 };

@@ -17,7 +17,6 @@
 //! (Section 4), which also powers the inlining hints.
 
 use minic::{CheckpointKind, LoopId};
-use std::collections::HashMap;
 
 /// Index of a node in the [`LoopTree`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,7 +43,11 @@ pub struct Node {
     pub total_iters: u64,
     /// Largest per-entry iteration count observed.
     pub max_trip: u64,
-    children: HashMap<LoopId, NodeId>,
+    // Distinct child loop ids per node are few (sibling loops in one
+    // body), and `child()` runs on every checkpoint — a linear scan over
+    // an inline vector beats hashing. Insertion order is deterministic
+    // (first instantiation order), so derived equality stays meaningful.
+    children: Vec<(LoopId, NodeId)>,
 }
 
 impl Node {
@@ -57,18 +60,19 @@ impl Node {
             entries: 0,
             total_iters: 0,
             max_trip: 0,
-            children: HashMap::new(),
+            children: Vec::new(),
         }
     }
 
     /// Child node for a loop id, if present.
     pub fn child(&self, id: LoopId) -> Option<NodeId> {
-        self.children.get(&id).copied()
+        self.children.iter().find(|(k, _)| *k == id).map(|(_, v)| *v)
     }
 
-    /// Iterates over `(loop id, node)` children, unordered.
+    /// Iterates over `(loop id, node)` children in first-instantiation
+    /// order.
     pub fn children(&self) -> impl Iterator<Item = (LoopId, NodeId)> + '_ {
-        self.children.iter().map(|(k, v)| (*k, *v))
+        self.children.iter().copied()
     }
 
     /// Mean iterations per entry (0 if never entered).
@@ -225,6 +229,45 @@ impl LoopTree {
         }
     }
 
+    /// Applies `runs` consecutive empty body iterations of `loop_id` — the
+    /// exact effect of replaying `(BodyBegin; BodyEnd) × runs`, which is
+    /// how the sharded streaming router delivers iteration spans a shard
+    /// had no accesses in ([`minic_trace::BlockItem::IterRun`]).
+    ///
+    /// The common case is O(1): after the first `BodyBegin` lands on a
+    /// node whose *parent* is not an instance of the same loop, every
+    /// remaining pair provably re-targets that same node (`BodyEnd` parks
+    /// the walker at the parent, whose unique `child(loop_id)` the next
+    /// `BodyBegin` re-finds), so the remaining iterations collapse into
+    /// one counter update. When the parent *is* the same loop — the
+    /// self-nested chains recursion produces — consecutive pairs climb the
+    /// chain, so the pairs are replayed one by one to stay byte-identical
+    /// to the sequential walk.
+    pub fn on_body_run(&mut self, loop_id: LoopId, runs: u32) {
+        let mut left = runs;
+        while left > 0 {
+            self.on_checkpoint(loop_id, CheckpointKind::BodyBegin);
+            let target = self.current;
+            let fast = match self.node(target).parent {
+                None => true,
+                Some(p) => self.node(p).loop_id != Some(loop_id),
+            };
+            if fast && left > 1 {
+                let extra = u64::from(left - 1);
+                let node = &mut self.nodes[target.0 as usize];
+                node.iter += extra as i64;
+                node.total_iters += extra;
+                let trip = (node.iter + 1) as u64;
+                if trip > node.max_trip {
+                    node.max_trip = trip;
+                }
+                left = 1;
+            }
+            self.on_checkpoint(loop_id, CheckpointKind::BodyEnd);
+            left -= 1;
+        }
+    }
+
     fn child_or_create(&mut self, parent: NodeId, loop_id: LoopId) -> NodeId {
         match self.node(parent).child(loop_id) {
             Some(c) => c,
@@ -232,7 +275,7 @@ impl LoopTree {
                 let id = NodeId(self.nodes.len() as u32);
                 let depth = self.node(parent).depth + 1;
                 self.nodes.push(Node::new(Some(parent), Some(loop_id), depth));
-                self.nodes[parent.0 as usize].children.insert(loop_id, id);
+                self.nodes[parent.0 as usize].children.push((loop_id, id));
                 id
             }
         }
@@ -309,7 +352,7 @@ impl LoopTree {
     /// Loop ids that appear at more than one tree position — the raw signal
     /// behind the paper's inlining hints.
     pub fn multi_context_loops(&self) -> Vec<(LoopId, usize)> {
-        let mut counts: HashMap<LoopId, usize> = HashMap::new();
+        let mut counts: std::collections::HashMap<LoopId, usize> = std::collections::HashMap::new();
         for n in &self.nodes {
             if let Some(l) = n.loop_id {
                 *counts.entry(l).or_default() += 1;
@@ -486,6 +529,52 @@ mod tests {
             feed(&mut tree, &[(l, BE)]);
         }
         assert_eq!(tree.current(), ROOT);
+    }
+
+    /// `on_body_run(l, n)` must be indistinguishable from replaying the
+    /// `(BodyBegin; BodyEnd) × n` pairs one at a time, from any walker
+    /// position — including the self-nested same-loop-id chains where
+    /// consecutive pairs climb the tree.
+    #[test]
+    fn body_run_equals_expanded_pairs() {
+        // Prefix streams putting the walker in assorted positions: fresh
+        // tree, inside a plain nest, between iterations, mid-body, and on
+        // a self-nested chain (loop 5 under loop 5 under loop 5).
+        let prefixes: &[&[(u32, CheckpointKind)]] = &[
+            &[],
+            &[(0, LB)],
+            &[(0, LB), (0, BB)],
+            &[(0, LB), (0, BB), (1, LB), (1, BB), (1, BE)],
+            &[(5, LB), (5, BB), (5, LB), (5, BB), (5, LB), (5, BB)],
+            &[(5, BB), (5, BB), (5, BE)],
+        ];
+        for prefix in prefixes {
+            for loop_id in [0u32, 1, 5, 9] {
+                for runs in [1u32, 2, 3, 7, 100] {
+                    let mut bulk = LoopTree::new();
+                    feed(&mut bulk, prefix);
+                    bulk.on_body_run(LoopId(loop_id), runs);
+
+                    let mut pairs = LoopTree::new();
+                    feed(&mut pairs, prefix);
+                    for _ in 0..runs {
+                        pairs.on_checkpoint(LoopId(loop_id), BB);
+                        pairs.on_checkpoint(LoopId(loop_id), BE);
+                    }
+                    assert_eq!(bulk, pairs, "prefix={prefix:?} loop={loop_id} runs={runs}");
+                    assert_eq!(bulk.current(), pairs.current());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn body_run_zero_is_a_no_op() {
+        let mut tree = LoopTree::new();
+        feed(&mut tree, &[(0, LB), (0, BB)]);
+        let before = tree.clone();
+        tree.on_body_run(LoopId(0), 0);
+        assert_eq!(tree, before);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   between the FORAY model, system-library code, and everything else.
 
 use crate::analyzer::{Analysis, RefClass};
+use crate::fasthash::FastMap;
+use crate::footprint::Footprint;
 use crate::model::ForayModel;
 use minic::{LoopId, Program, Stmt};
 use std::collections::{HashMap, HashSet};
@@ -127,10 +129,12 @@ impl MemoryBehavior {
             model_accesses: model.covered_accesses(),
             ..MemoryBehavior::default()
         };
-        let mut total_fp: HashSet<u32> = HashSet::new();
-        let mut model_fp: HashSet<u32> = HashSet::new();
-        let mut lib_fp: HashSet<u32> = HashSet::new();
-        let mut other_fp: HashSet<u32> = HashSet::new();
+        // Footprints union as bitmap-page maps (see [`Footprint`]); the
+        // counts pop out as per-page popcounts.
+        let mut total_fp: FastMap<u32, u64> = FastMap::default();
+        let mut model_fp: FastMap<u32, u64> = FastMap::default();
+        let mut lib_fp: FastMap<u32, u64> = FastMap::default();
+        let mut other_fp: FastMap<u32, u64> = FastMap::default();
         for r in analysis.refs() {
             let execs = r.state.executions();
             if r.class == RefClass::Library {
@@ -138,20 +142,20 @@ impl MemoryBehavior {
                 row.lib_accesses += execs;
             }
             if let Some(addrs) = r.state.footprint_addrs() {
-                total_fp.extend(addrs);
+                addrs.union_into(&mut total_fp);
                 if model_keys.contains(&(r.instr, r.node)) {
-                    model_fp.extend(addrs);
+                    addrs.union_into(&mut model_fp);
                 } else if r.class == RefClass::Library {
-                    lib_fp.extend(addrs);
+                    addrs.union_into(&mut lib_fp);
                 } else {
-                    other_fp.extend(addrs);
+                    addrs.union_into(&mut other_fp);
                 }
             }
         }
-        row.total_footprint = total_fp.len() as u64;
-        row.model_footprint = model_fp.len() as u64;
-        row.lib_footprint = lib_fp.len() as u64;
-        row.other_footprint = other_fp.len() as u64;
+        row.total_footprint = Footprint::union_len(&total_fp);
+        row.model_footprint = Footprint::union_len(&model_fp);
+        row.lib_footprint = Footprint::union_len(&lib_fp);
+        row.other_footprint = Footprint::union_len(&other_fp);
         row
     }
 

@@ -5,14 +5,24 @@
 //! (b) the loop-tree walker position, which is driven by checkpoints alone.
 //! The analysis is therefore embarrassingly parallel across references:
 //! partition the access stream by instruction address into K shards, give
-//! every shard the full checkpoint stream, run K independent sequential
+//! every shard its checkpoint *context*, run K independent sequential
 //! [`Analyzer`]s, and merge.
+//!
+//! The buffered path delivers that context the simple way — every shard
+//! buffer contains every checkpoint. The streaming path compacts it: the
+//! router keeps one shared context log ([`minic_trace::BlockRouter`]),
+//! iteration boundaries collapse into [`minic_trace::BlockItem::IterRun`]
+//! run-lengths replayed in bulk by [`Analyzer::body_run`], and each worker
+//! receives exactly the context its own accesses need — per-shard work is
+//! O(own accesses + loop transitions), not O(trace), so adding workers no
+//! longer adds broadcast cost.
 //!
 //! The merge restores **bit-for-bit equivalence** with the sequential
 //! analysis:
 //!
-//! * every shard replays every checkpoint, so all shards reconstruct the
-//!   *same* loop tree (same [`crate::looptree::NodeId`] assignment, same
+//! * every shard sees the full checkpoint context (expanded from
+//!   run-lengths where compacted), so all shards reconstruct the *same*
+//!   loop tree (same [`crate::looptree::NodeId`] assignment, same
 //!   entry/trip statistics) — any shard's tree is the sequential tree;
 //! * each reference's [`RefRecord`] is built from exactly the accesses the
 //!   sequential analyzer would feed it, in the same order, under the same
@@ -36,8 +46,10 @@
 
 use crate::analyzer::{Analysis, Analyzer, AnalyzerConfig, RefRecord};
 use crate::looptree::LoopTree;
+use minic::{CheckpointKind, LoopId};
 use minic_trace::{
-    shard_of, BlockRouter, Record, RecordSource, ShardBuffer, ShardingSink, TraceSink,
+    shard_of, Access, BlockItem, BlockRouter, Record, RecordSource, ShardBlock, ShardBuffer,
+    ShardingSink, TraceSink,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -77,45 +89,10 @@ pub fn parse_thread_override(value: &str) -> Result<usize, String> {
 /// once-per-process warning on stderr, so CI matrix typos surface instead
 /// of quietly running at the wrong width.
 pub fn resolve_shards(requested: usize) -> usize {
-    resolve_shards_capped(requested, usize::MAX)
-}
-
-/// Ceiling applied to *auto-detected* worker counts on the streaming
-/// sharded path (see [`resolve_stream_shards`]).
-///
-/// Every checkpoint is broadcast to every shard, so routed volume — and
-/// the checkpoint replay work — grows linearly with K while one producer
-/// feeds all workers. Past a handful of shards the pipeline only gets
-/// slower (the `fused_exec` bench documents the pathology), so an
-/// unqualified "use the whole machine" default is wrong on many-core
-/// hosts. An explicit `--jobs`/`shards` request, or a `FORAY_TEST_THREADS`
-/// override, is always honored verbatim.
-pub const STREAM_AUTO_SHARD_CAP: usize = 4;
-
-/// [`resolve_shards`] for the streaming pipeline: identical resolution
-/// order (explicit request, then the `FORAY_TEST_THREADS` override, then
-/// available parallelism), but the auto-detected value is capped at
-/// [`STREAM_AUTO_SHARD_CAP`] so service and CLI defaults do not degrade on
-/// many-core hosts. Explicit requests and env overrides are never capped.
-///
-/// # Examples
-///
-/// ```
-/// // Explicit requests pass through uncapped.
-/// assert_eq!(foray::resolve_stream_shards(7), 7);
-/// assert_eq!(foray::resolve_stream_shards(64), 64);
-/// ```
-pub fn resolve_stream_shards(requested: usize) -> usize {
-    resolve_shards_capped(requested, STREAM_AUTO_SHARD_CAP)
-}
-
-/// Shared resolution: explicit request > env override > capped
-/// auto-detection. Only the final auto-detected fallback is capped —
-/// both explicit paths express caller intent and pass through verbatim.
-fn resolve_shards_capped(requested: usize, auto_cap: usize) -> usize {
     if requested > 0 {
         return requested;
     }
+    let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1);
     if let Ok(v) = std::env::var("FORAY_TEST_THREADS") {
         match parse_thread_override(&v) {
             Ok(n) => return n,
@@ -123,14 +100,14 @@ fn resolve_shards_capped(requested: usize, auto_cap: usize) -> usize {
                 static WARNED: std::sync::Once = std::sync::Once::new();
                 WARNED.call_once(|| {
                     eprintln!(
-                        "warning: ignoring FORAY_TEST_THREADS: {msg}; \
-                         using available parallelism"
+                        "warning: ignoring FORAY_TEST_THREADS={v:?}: {msg}; \
+                         falling back to K={auto} (available parallelism)"
                     );
                 });
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(auto_cap).max(1)
+    auto
 }
 
 /// One shard worker's output: its (complete) loop tree, its references
@@ -154,16 +131,21 @@ impl ShardRun {
         ShardRun { analyzer: Analyzer::with_config(config.clone()), first_seen: Vec::new() }
     }
 
-    fn checkpoint(&mut self, rec: &Record) {
-        self.analyzer.record(rec);
+    fn checkpoint(&mut self, loop_id: LoopId, kind: CheckpointKind) {
+        self.analyzer.on_checkpoint(loop_id, kind);
     }
 
-    fn access(&mut self, rec: &Record, global_seq: u64) {
-        let before = self.analyzer.ref_count();
-        self.analyzer.record(rec);
-        if self.analyzer.ref_count() > before {
+    #[inline]
+    fn access(&mut self, a: &Access, global_seq: u64) {
+        if self.analyzer.on_access(a) {
             self.first_seen.push(global_seq);
         }
+    }
+
+    /// Applies a compacted iteration run (`runs` BodyBegin/BodyEnd pairs
+    /// in bulk); creates no references, so ordinal tracking is untouched.
+    fn body_run(&mut self, loop_id: LoopId, runs: u32) {
+        self.analyzer.body_run(loop_id, runs);
     }
 
     fn finish(self) -> ShardResult {
@@ -174,17 +156,34 @@ impl ShardRun {
     }
 }
 
-/// Replays one routed buffer (a whole shard's stream, or one streamed
-/// block of it) into a [`ShardRun`].
-fn replay_block(run: &mut ShardRun, buf: &ShardBuffer) {
+/// Replays one broadcast-routed buffer (a whole shard's stream from the
+/// buffered [`ShardingSink`] path) into a [`ShardRun`].
+fn replay_buffer(run: &mut ShardRun, buf: &ShardBuffer) {
     let mut seqs = buf.access_seqs.iter();
     for rec in &buf.records {
         match rec {
-            Record::Checkpoint { .. } => run.checkpoint(rec),
-            Record::Access(_) => {
+            Record::Checkpoint { loop_id, kind } => run.checkpoint(*loop_id, *kind),
+            Record::Access(a) => {
                 let seq = *seqs.next().expect("one ordinal per routed access");
-                run.access(rec, seq);
+                run.access(a, seq);
             }
+        }
+    }
+}
+
+/// Replays one compacted streamed block: accesses carry their global
+/// ordinals, checkpoints are context deltas, and [`BlockItem::IterRun`]
+/// applies whole iteration runs in one call.
+fn replay_block(run: &mut ShardRun, block: &ShardBlock) {
+    let mut seqs = block.access_seqs.iter();
+    for item in &block.items {
+        match item {
+            BlockItem::Access(a) => {
+                let seq = *seqs.next().expect("one ordinal per routed access");
+                run.access(a, seq);
+            }
+            BlockItem::Checkpoint { loop_id, kind } => run.checkpoint(*loop_id, *kind),
+            BlockItem::IterRun { loop_id, runs } => run.body_run(*loop_id, *runs),
         }
     }
 }
@@ -192,7 +191,7 @@ fn replay_block(run: &mut ShardRun, buf: &ShardBuffer) {
 /// Replays a routed per-shard buffer (online buffered mode).
 fn run_shard_buffer(buf: &ShardBuffer, config: &AnalyzerConfig) -> ShardResult {
     let mut run = ShardRun::new(config);
-    replay_block(&mut run, buf);
+    replay_buffer(&mut run, buf);
     run.finish()
 }
 
@@ -208,12 +207,12 @@ fn run_shard_slice(
     let mut seq = 0u64;
     for rec in records {
         match rec {
-            Record::Checkpoint { .. } => run.checkpoint(rec),
+            Record::Checkpoint { loop_id, kind } => run.checkpoint(*loop_id, *kind),
             Record::Access(a) => {
                 let s = seq;
                 seq += 1;
                 if shard_of(a.instr, shards) == shard {
-                    run.access(rec, s);
+                    run.access(a, s);
                 }
             }
         }
@@ -419,9 +418,10 @@ pub struct StreamStats {
 /// over *bounded* channels, so when a worker lags the producer blocks on
 /// the hand-off instead of queueing without limit. The result is
 /// byte-identical to sequential [`crate::analyze`] on the same stream for
-/// any worker count — same routing/merge contract as the buffered path
-/// (checkpoint broadcast, ordinal-sorted merge), per-block instead of
-/// per-trace.
+/// any worker count — same merge contract as the buffered path
+/// (ordinal-sorted, identical trees), but checkpoints travel as compacted
+/// per-block context deltas instead of a K-way broadcast, so per-shard
+/// work stays O(own accesses + loop transitions) at any K.
 ///
 /// Returns the merged analysis, `produce`'s own result, and the
 /// pipeline's [`StreamStats`].
@@ -458,10 +458,53 @@ pub fn analyze_streaming_with<R, E>(
     config: &AnalyzerConfig,
     produce: impl FnOnce(&mut dyn TraceSink) -> Result<R, E>,
 ) -> Result<(Analysis, R, StreamStats), E> {
-    let shards = resolve_stream_shards(config.shards);
+    struct FnProducer<F>(F);
+    impl<R, E, F: FnOnce(&mut dyn TraceSink) -> Result<R, E>> RecordProducer for FnProducer<F> {
+        type Out = R;
+        type Err = E;
+        fn produce<S: TraceSink>(self, sink: &mut S) -> Result<R, E> {
+            (self.0)(sink)
+        }
+    }
+    analyze_streaming_produce(config, FnProducer(produce))
+}
+
+/// A source of the record stream for [`analyze_streaming_produce`],
+/// generic over the sink type so the per-record sink calls dispatch
+/// statically under every schedule. The closure-based
+/// [`analyze_streaming_with`] is the ergonomic entry; it pays one virtual
+/// call per record, which is measurable at VM record rates — throughput
+/// callers (the VM benches, [`analyze_streaming_source`]) implement this
+/// trait instead.
+pub trait RecordProducer {
+    /// The producer's own result (e.g. the simulator outcome).
+    type Out;
+    /// The producer's error type.
+    type Err;
+    /// Streams every record into `sink`, returning the producer's result.
+    fn produce<S: TraceSink>(self, sink: &mut S) -> Result<Self::Out, Self::Err>;
+}
+
+/// [`analyze_streaming_with`], statically dispatched: the scheduler picks
+/// the sink type (inline or threaded hand-off) and hands it to `producer`
+/// as a concrete `&mut S`.
+///
+/// # Errors
+///
+/// Propagates the producer's error; workers for the records routed before
+/// the failure are shut down cleanly first.
+pub fn analyze_streaming_produce<P: RecordProducer>(
+    config: &AnalyzerConfig,
+    producer: P,
+) -> Result<(Analysis, P::Out, StreamStats), P::Err> {
+    let shards = resolve_shards(config.shards);
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if parallelism == 1 && !config.stream.force_worker_threads {
+        return analyze_streaming_inline(config, shards, producer);
+    }
     let block_records = config.stream.block_records.max(1);
     let channel_blocks = config.stream.channel_blocks.max(1);
-    // Records in flight past the router: sitting in a channel or being
+    // Items in flight past the router: sitting in a channel or being
     // replayed by a worker. The producer adds on hand-off, the worker
     // subtracts after replay, so `peak_live` + the router's own pending
     // peak bounds everything ever buffered at once.
@@ -471,14 +514,14 @@ pub fn analyze_streaming_with<R, E>(
         let (done_tx, done_rx) = mpsc::channel::<ShardResult>();
         let mut senders = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (block_tx, block_rx) = mpsc::sync_channel::<ShardBuffer>(channel_blocks);
+            let (block_tx, block_rx) = mpsc::sync_channel::<ShardBlock>(channel_blocks);
             senders.push(block_tx);
             let done = done_tx.clone();
             let live = &live;
             scope.spawn(move || {
                 let mut run = ShardRun::new(config);
                 while let Ok(block) = block_rx.recv() {
-                    let n = block.records.len() as u64;
+                    let n = block.items.len() as u64;
                     replay_block(&mut run, &block);
                     live.fetch_sub(n, Ordering::Relaxed);
                 }
@@ -490,13 +533,13 @@ pub fn analyze_streaming_with<R, E>(
         drop(done_tx);
         let (live, peak_live) = (&live, &peak_live);
         let mut router = BlockRouter::new(shards, block_records, move |shard, block| {
-            let n = block.records.len() as u64;
+            let n = block.items.len() as u64;
             let now = live.fetch_add(n, Ordering::Relaxed) + n;
             peak_live.fetch_max(now, Ordering::Relaxed);
             // Backpressure: blocks here while the worker's channel is full.
             let _ = senders[shard].send(block);
         });
-        let produced = produce(&mut router);
+        let produced = producer.produce(&mut router);
         router.finish();
         let stats = StreamStats {
             shards,
@@ -504,9 +547,7 @@ pub fn analyze_streaming_with<R, E>(
             accesses: router.accesses(),
             peak_buffered_records: router.peak_buffered_records() as u64
                 + peak_live.load(Ordering::Relaxed),
-            max_buffered_records: (shards as u64)
-                * (block_records as u64)
-                * (channel_blocks as u64 + 3),
+            max_buffered_records: config.stream.max_buffered_records(shards),
         };
         // Dropping the router drops the block senders; workers drain,
         // finish, and report regardless of whether `produce` succeeded.
@@ -515,6 +556,55 @@ pub fn analyze_streaming_with<R, E>(
         let value = produced?;
         Ok((merge(results), value, stats))
     })
+}
+
+/// The producing thread's sink in the inline schedule: the plain
+/// sequential analyzer plus stream accounting. Nothing is buffered.
+struct InlineSink {
+    analyzer: Analyzer,
+    records: u64,
+    accesses: u64,
+}
+
+impl TraceSink for InlineSink {
+    fn record(&mut self, rec: &Record) {
+        self.records += 1;
+        if matches!(rec, Record::Access(_)) {
+            self.accesses += 1;
+        }
+        self.analyzer.record(rec);
+    }
+}
+
+/// The single-hardware-thread schedule of [`analyze_streaming_with`]: the
+/// sequential analyzer, applied record-by-record on the producing thread.
+///
+/// Sharding exists to put K analyzer threads to work, and its whole
+/// correctness story — locked by the equivalence suites for every K and
+/// both schedules — is that the ordinal merge reproduces the sequential
+/// analysis byte-for-byte. On one core, worker threads could only
+/// time-slice the producer, so routing, per-shard context replay, and the
+/// final merge would buy pure overhead; the optimal schedule is the
+/// sequential analyzer itself, which by that same invariant returns the
+/// identical bytes while buffering nothing at all.
+fn analyze_streaming_inline<P: RecordProducer>(
+    config: &AnalyzerConfig,
+    shards: usize,
+    producer: P,
+) -> Result<(Analysis, P::Out, StreamStats), P::Err> {
+    let mut sink =
+        InlineSink { analyzer: Analyzer::with_config(config.clone()), records: 0, accesses: 0 };
+    let produced = producer.produce(&mut sink);
+    sink.finish();
+    let stats = StreamStats {
+        shards,
+        records: sink.records,
+        accesses: sink.accesses,
+        peak_buffered_records: 0,
+        max_buffered_records: config.stream.max_buffered_records(shards),
+    };
+    let value = produced?;
+    Ok((sink.analyzer.into_analysis(), value, stats))
 }
 
 /// Streaming analysis of any [`RecordSource`] in bounded memory
@@ -528,7 +618,15 @@ pub fn analyze_streaming_source<Src: RecordSource>(
     source: Src,
     config: AnalyzerConfig,
 ) -> Result<Analysis, Src::Error> {
-    let (analysis, _, _) = analyze_streaming_with(&config, |sink| source.stream_into(sink))?;
+    struct SourceProducer<Src>(Src);
+    impl<Src: RecordSource> RecordProducer for SourceProducer<Src> {
+        type Out = u64;
+        type Err = Src::Error;
+        fn produce<S: TraceSink>(self, sink: &mut S) -> Result<u64, Src::Error> {
+            self.0.stream_into(sink)
+        }
+    }
+    let (analysis, _, _) = analyze_streaming_produce(&config, SourceProducer(source))?;
     Ok(analysis)
 }
 
@@ -625,27 +723,24 @@ mod tests {
     }
 
     #[test]
-    fn stream_auto_k_is_capped_but_explicit_requests_are_not() {
-        // Explicit requests pass through uncapped, however large.
-        for k in [1usize, 2, STREAM_AUTO_SHARD_CAP + 3, 64] {
-            assert_eq!(resolve_stream_shards(k), k);
+    fn auto_k_is_uncapped_and_tracks_the_environment() {
+        // Explicit requests pass through verbatim, however large — and so
+        // does auto-detection: with compacted checkpoint routing there is
+        // no broadcast pathology left to cap against.
+        for k in [1usize, 2, 7, 64] {
+            assert_eq!(resolve_shards(k), k);
         }
-        // Auto-detection is capped at STREAM_AUTO_SHARD_CAP unless a
-        // FORAY_TEST_THREADS override (always honored verbatim) asks for
-        // more — compute the admissible ceiling from the live environment
-        // so this test is valid under the CI thread matrix too.
-        let auto = resolve_stream_shards(0);
+        let auto = resolve_shards(0);
         let override_k =
             std::env::var("FORAY_TEST_THREADS").ok().and_then(|v| parse_thread_override(&v).ok());
         match override_k {
-            Some(n) => assert_eq!(auto, n, "env override is never capped"),
-            None => assert!(
-                (1..=STREAM_AUTO_SHARD_CAP).contains(&auto),
-                "auto-K {auto} escaped the cap {STREAM_AUTO_SHARD_CAP}"
-            ),
+            Some(n) => assert_eq!(auto, n, "env override is honored verbatim"),
+            None => {
+                let avail =
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1);
+                assert_eq!(auto, avail, "auto-K is the machine's full parallelism");
+            }
         }
-        // The capped resolver never widens a request beyond the plain one.
-        assert!(resolve_stream_shards(0) <= resolve_shards(0).max(STREAM_AUTO_SHARD_CAP));
     }
 
     #[test]
@@ -664,10 +759,12 @@ mod tests {
         let trace = multi_ref_trace();
         let sequential = analyze(&trace);
         for k in [1usize, 2, 3, 7] {
-            for block_records in [1usize, 4, 64, 10_000] {
+            for (block_records, force_worker_threads) in
+                [(1usize, false), (4, true), (64, false), (64, true), (10_000, true)]
+            {
                 let config = AnalyzerConfig {
                     shards: k,
-                    stream: StreamConfig { block_records, channel_blocks: 2 },
+                    stream: StreamConfig { block_records, channel_blocks: 2, force_worker_threads },
                     ..AnalyzerConfig::default()
                 };
                 let (analysis, n, stats) = analyze_streaming_with(&config, |sink| {

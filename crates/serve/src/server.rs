@@ -48,9 +48,9 @@ pub struct ServeConfig {
     /// Spill directory for evicted cache entries (`None`: evictions are
     /// dropped).
     pub spill_dir: Option<PathBuf>,
-    /// Analysis shard workers per job (`0` = auto, capped at
-    /// [`foray::STREAM_AUTO_SHARD_CAP`]). Not cache-key material: any
-    /// value yields byte-identical results.
+    /// Analysis shard workers per job (`0` = auto; see
+    /// [`foray::resolve_shards`]). Not cache-key material: any value
+    /// yields byte-identical results.
     pub default_shards: usize,
     /// Backoff hint attached to `queue_full` rejections.
     pub retry_after_ms: u64,

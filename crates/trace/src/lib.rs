@@ -56,7 +56,9 @@ pub use file::{FormatVersion, ReadError, TraceFile, TraceReader, TraceWriter};
 pub use index::{CheckpointIndex, IndexEntry};
 pub use record::{Access, AccessKind, InstrAddr, MemAddr, Record};
 pub use sample::{SampleSink, SampleSpec, SampleState, DEFAULT_SAMPLE_SEED};
-pub use shard::{shard_of, BlockRouter, ShardBuffer, ShardingSink};
+pub use shard::{
+    shard_of, BlockItem, BlockRouter, RecordRouter, ShardBlock, ShardBuffer, ShardingSink,
+};
 pub use sink::{CountingSink, NullSink, TeeSink, TraceSink, VecSink};
 pub use source::RecordSource;
 pub use stats::TraceStats;

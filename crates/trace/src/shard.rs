@@ -4,13 +4,31 @@
 //! `(node, instruction)` key plus the checkpoint stream that positions the
 //! loop-tree walker — so a trace can be split by *instruction address* into
 //! K independent sub-streams, each carrying every checkpoint but only its
-//! own slice of the accesses. [`ShardingSink`] performs that routing online
-//! (it is a [`TraceSink`], so it can ride a profiling run), stamping each
-//! access with its global ordinal so a downstream merge can restore the
-//! exact first-observation order of the sequential analysis.
+//! own slice of the accesses. Two sinks implement that routing:
+//!
+//! * [`ShardingSink`] buffers whole per-shard streams, physically copying
+//!   every checkpoint into every shard (simple, O(trace) memory — the
+//!   offline buffered path);
+//! * [`BlockRouter`] streams bounded [`ShardBlock`]s and keeps **one**
+//!   shared, run-length-compacted loop-context log instead of broadcasting:
+//!   a shard receives the context between two of its accesses as a handful
+//!   of [`BlockItem::Checkpoint`] / [`BlockItem::IterRun`] items, delivered
+//!   lazily when its next access (or the end of stream) arrives. Encoding a
+//!   checkpoint is O(1) regardless of K, so routed volume is
+//!   O(accesses + compressed context) instead of O(K × checkpoints) — the
+//!   property that lets streaming analysis scale out on many-core hosts.
+//!
+//! Both stamp each access with its global ordinal so a downstream merge can
+//! restore the exact first-observation order of the sequential analysis,
+//! and both deliver a per-shard event sequence whose *decompressed* form is
+//! identical: every checkpoint of the original trace (in order) plus the
+//! shard's own accesses (in order) — the invariant the byte-identity of
+//! sharded analysis rests on.
 
-use crate::record::{InstrAddr, Record};
+use crate::record::{Access, InstrAddr, Record};
 use crate::sink::TraceSink;
+use minic::{CheckpointKind, LoopId};
+use std::collections::VecDeque;
 
 /// Deterministically maps an instruction address to a shard in `0..shards`.
 ///
@@ -47,6 +65,79 @@ pub struct ShardBuffer {
     /// Global access ordinal for each `Record::Access` in `records`,
     /// in the same order the accesses appear.
     pub access_seqs: Vec<u64>,
+}
+
+/// One event of a routed [`ShardBlock`] — an access, a verbatim
+/// checkpoint, or a run-length-compressed span of empty body iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockItem {
+    /// One of this shard's own accesses.
+    Access(Access),
+    /// A loop-context checkpoint, verbatim.
+    Checkpoint {
+        /// Which loop.
+        loop_id: LoopId,
+        /// Which of the three checkpoint kinds.
+        kind: CheckpointKind,
+    },
+    /// `runs` consecutive body iterations of one loop in which this shard
+    /// had nothing to do — semantically `(BodyBegin; BodyEnd) × runs`.
+    /// Replaying it moves the loop-tree walker exactly as the expanded
+    /// pairs would (see `foray::LoopTree::on_body_run`).
+    IterRun {
+        /// Which loop.
+        loop_id: LoopId,
+        /// How many complete `(BodyBegin; BodyEnd)` pairs this stands for.
+        runs: u32,
+    },
+}
+
+/// One bounded block of a shard's routed sub-stream, in compacted form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardBlock {
+    /// Events in original relative order (context items interleaved with
+    /// this shard's accesses).
+    pub items: Vec<BlockItem>,
+    /// Global access ordinal for each [`BlockItem::Access`] in `items`,
+    /// in the same order the accesses appear.
+    pub access_seqs: Vec<u64>,
+}
+
+impl ShardBlock {
+    fn with_capacity(cap: usize) -> ShardBlock {
+        // Full capacity pre-reserved so filling never reallocates (the
+        // routing hot path runs while the VM is executing).
+        ShardBlock { items: Vec::with_capacity(cap), access_seqs: Vec::with_capacity(cap) }
+    }
+
+    /// Expands the compacted items back into plain [`Record`]s — each
+    /// [`BlockItem::IterRun`] becomes its `(BodyBegin; BodyEnd)` pairs.
+    /// Concatenating the expansions of one shard's blocks reproduces
+    /// exactly the [`ShardBuffer`] the broadcasting [`ShardingSink`] would
+    /// have built for it (the equivalence `BlockRouter`'s tests lock down).
+    pub fn expand_into(&self, buf: &mut ShardBuffer) {
+        for item in &self.items {
+            match item {
+                BlockItem::Access(a) => buf.records.push(Record::Access(*a)),
+                BlockItem::Checkpoint { loop_id, kind } => {
+                    buf.records.push(Record::Checkpoint { loop_id: *loop_id, kind: *kind });
+                }
+                BlockItem::IterRun { loop_id, runs } => {
+                    for _ in 0..*runs {
+                        buf.records.push(Record::Checkpoint {
+                            loop_id: *loop_id,
+                            kind: CheckpointKind::BodyBegin,
+                        });
+                        buf.records.push(Record::Checkpoint {
+                            loop_id: *loop_id,
+                            kind: CheckpointKind::BodyEnd,
+                        });
+                    }
+                }
+            }
+        }
+        buf.access_seqs.extend_from_slice(&self.access_seqs);
+    }
 }
 
 /// Routes a record stream into per-shard buffers (see the module docs).
@@ -121,70 +212,282 @@ impl TraceSink for ShardingSink {
     }
 }
 
-/// Routes a record stream into **bounded** per-shard blocks, handing each
-/// block to a consumer callback the moment it fills (and flushing stubs at
-/// [`TraceSink::finish`]).
+/// One closed entry of the shared context log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxEntry {
+    /// A single checkpoint, verbatim (spans one event).
+    Point { loop_id: LoopId, kind: CheckpointKind },
+    /// `runs` complete `(BodyBegin; BodyEnd)` pairs of one loop (spans
+    /// `2 × runs` events).
+    Run { loop_id: LoopId, runs: u32 },
+}
+
+impl CtxEntry {
+    fn span(&self) -> u64 {
+        match self {
+            CtxEntry::Point { .. } => 1,
+            CtxEntry::Run { runs, .. } => 2 * u64::from(*runs),
+        }
+    }
+}
+
+/// A closed entry plus the global event sequence number it starts at.
+#[derive(Debug, Clone, Copy)]
+struct Spanned {
+    start: u64,
+    entry: CtxEntry,
+}
+
+/// The trailing run still being built: `runs` complete pairs, plus an
+/// unmatched `BodyBegin` when `half` is set.
+#[derive(Debug, Clone, Copy)]
+struct OpenRun {
+    loop_id: LoopId,
+    start: u64,
+    runs: u32,
+    half: bool,
+}
+
+impl OpenRun {
+    fn end(&self) -> u64 {
+        self.start + 2 * u64::from(self.runs) + u64::from(self.half)
+    }
+}
+
+/// Per-shard replay position in the context log: the next unconsumed
+/// checkpoint event (`seq` — partial-run aware) and the absolute index of
+/// the next closed entry to examine (`ord` — a deque-index hint that stays
+/// valid across pruning).
+#[derive(Debug, Clone, Copy, Default)]
+struct Cursor {
+    seq: u64,
+    ord: u64,
+}
+
+/// The shared, run-length-compacted checkpoint log (see the module docs).
 ///
-/// This is the streaming sibling of [`ShardingSink`]: same routing rule
-/// (checkpoints broadcast, accesses partitioned by instruction address,
-/// global access ordinals), but memory is capped at
-/// `shards x block_records` pending records instead of the whole trace —
-/// the consumer (typically a bounded channel to a worker thread, see
-/// `foray::shard::analyze_streaming_with`) sees the identical per-shard
-/// record sequence, just chopped into blocks.
+/// Every checkpoint is assigned a global event sequence number; entries
+/// record which span of those events they cover, so a `Cursor` can stop
+/// *inside* a run (a shard that consumed a `BodyBegin` whose `BodyEnd` had
+/// not arrived yet) and resume exactly where it left off even after the
+/// run grows or is flushed into closed entries.
+#[derive(Debug, Default)]
+struct CtxLog {
+    closed: VecDeque<Spanned>,
+    /// Closed entries pruned off the front so far (keeps `Cursor::ord`
+    /// absolute).
+    dropped: u64,
+    open: Option<OpenRun>,
+    next_seq: u64,
+}
+
+impl CtxLog {
+    /// Appends one checkpoint — O(1), independent of the shard count.
+    fn push(&mut self, loop_id: LoopId, kind: CheckpointKind) {
+        match kind {
+            CheckpointKind::BodyBegin => match self.open {
+                Some(ref mut o) if o.loop_id == loop_id && !o.half && o.runs < u32::MAX => {
+                    o.half = true;
+                }
+                _ => {
+                    self.close_open();
+                    self.open =
+                        Some(OpenRun { loop_id, start: self.next_seq, runs: 0, half: true });
+                }
+            },
+            CheckpointKind::BodyEnd => match self.open {
+                Some(ref mut o) if o.loop_id == loop_id && o.half => {
+                    o.half = false;
+                    o.runs += 1;
+                }
+                _ => {
+                    self.close_open();
+                    self.closed.push_back(Spanned {
+                        start: self.next_seq,
+                        entry: CtxEntry::Point { loop_id, kind },
+                    });
+                }
+            },
+            CheckpointKind::LoopBegin => {
+                self.close_open();
+                self.closed.push_back(Spanned {
+                    start: self.next_seq,
+                    entry: CtxEntry::Point { loop_id, kind },
+                });
+            }
+        }
+        self.next_seq += 1;
+    }
+
+    /// Seals the open run into closed entries (spans unchanged, so every
+    /// cursor stays valid).
+    fn close_open(&mut self) {
+        if let Some(o) = self.open.take() {
+            let mut start = o.start;
+            if o.runs > 0 {
+                self.closed.push_back(Spanned {
+                    start,
+                    entry: CtxEntry::Run { loop_id: o.loop_id, runs: o.runs },
+                });
+                start += 2 * u64::from(o.runs);
+            }
+            if o.half {
+                self.closed.push_back(Spanned {
+                    start,
+                    entry: CtxEntry::Point { loop_id: o.loop_id, kind: CheckpointKind::BodyBegin },
+                });
+            }
+        }
+    }
+
+    /// Entries currently held (the log's memory footprint, in items).
+    fn pending(&self) -> usize {
+        self.closed.len() + usize::from(self.open.is_some())
+    }
+
+    /// Emits the not-yet-consumed suffix of the **closed** entries for one
+    /// cursor, advancing it to the start of the open run (or the present).
+    fn replay_closed(&self, cursor: &mut Cursor, out: &mut impl FnMut(BlockItem)) {
+        // `saturating_sub`: a cursor can sit behind the prune horizon only
+        // when the pruned entries were already consumed by every cursor
+        // (the pruning contract), so rescanning from 0 re-skips by span.
+        let mut idx = cursor.ord.saturating_sub(self.dropped) as usize;
+        while idx < self.closed.len() {
+            let s = self.closed[idx];
+            let end = s.start + s.entry.span();
+            if end > cursor.seq {
+                match s.entry {
+                    CtxEntry::Point { loop_id, kind } => {
+                        out(BlockItem::Checkpoint { loop_id, kind })
+                    }
+                    CtxEntry::Run { loop_id, runs } => {
+                        emit_pairs(loop_id, runs, s.start, cursor.seq, out)
+                    }
+                }
+                cursor.seq = end;
+            }
+            idx += 1;
+        }
+        cursor.ord = self.dropped + self.closed.len() as u64;
+    }
+
+    /// Emits everything the cursor has not seen yet — closed entries and
+    /// the open run — bringing it fully up to the present.
+    fn replay_all(&self, cursor: &mut Cursor, mut out: impl FnMut(BlockItem)) {
+        self.replay_closed(cursor, &mut out);
+        if let Some(o) = self.open {
+            if o.end() > cursor.seq {
+                emit_pairs(o.loop_id, o.runs, o.start, cursor.seq, &mut out);
+                if o.half && cursor.seq <= o.start + 2 * u64::from(o.runs) {
+                    out(BlockItem::Checkpoint {
+                        loop_id: o.loop_id,
+                        kind: CheckpointKind::BodyBegin,
+                    });
+                }
+                cursor.seq = o.end();
+            }
+        }
+        debug_assert_eq!(cursor.seq, self.next_seq, "cursor fully caught up");
+    }
+
+    /// Drops every closed entry. Callers must have replayed them to every
+    /// cursor first.
+    fn prune_closed(&mut self) {
+        self.dropped += self.closed.len() as u64;
+        self.closed.clear();
+    }
+}
+
+/// Emits the unconsumed part of a run of `runs` pairs starting at event
+/// `start`, for a cursor positioned at `from`. A cursor parked mid-pair
+/// (it consumed a `BodyBegin` whose `BodyEnd` arrived later) first gets the
+/// completing `BodyEnd`, then the remaining pairs as one `IterRun`.
+fn emit_pairs(loop_id: LoopId, runs: u32, start: u64, from: u64, out: &mut impl FnMut(BlockItem)) {
+    let offset = from.saturating_sub(start);
+    let mut done = (offset / 2) as u32;
+    if offset % 2 == 1 {
+        out(BlockItem::Checkpoint { loop_id, kind: CheckpointKind::BodyEnd });
+        done += 1;
+    }
+    if runs > done {
+        out(BlockItem::IterRun { loop_id, runs: runs - done });
+    }
+}
+
+/// The item-level routing core shared by [`BlockRouter`] (which groups
+/// items into bounded [`ShardBlock`]s for thread hand-off) and schedulers
+/// that consume items in place (the single-context inline schedule in
+/// `foray::shard`): the shard memo, the access-ordinal counter, and the
+/// shared compacted context log with one replay `Cursor` per shard.
+///
+/// [`Self::route`] turns each incoming [`Record`] into zero or more
+/// `(shard, item, ordinal)` emissions: an access first flushes the context
+/// its shard has not seen, then the access itself (tagged with its global
+/// ordinal); a checkpoint is appended to the log in O(1) and only fans out
+/// once the log reaches `prune_entries` (or at [`Self::finish`]).
+/// Concatenating one shard's emissions reproduces exactly the block
+/// sequence [`BlockRouter`] would deliver for it — the equivalence the
+/// byte-identity of every schedule rests on.
 ///
 /// # Examples
 ///
 /// ```
-/// use minic_trace::{AccessKind, BlockRouter, Record, ShardBuffer, TraceSink};
+/// use minic_trace::{AccessKind, BlockItem, Record, RecordRouter};
 ///
-/// let mut blocks: Vec<(usize, ShardBuffer)> = Vec::new();
-/// let mut router = BlockRouter::new(2, 3, |shard, block| blocks.push((shard, block)));
-/// for i in 0..8 {
-///     router.record(&Record::access(0x400000, 0x1000 + i, AccessKind::Read));
-/// }
-/// router.finish();
-/// drop(router); // releases the borrow on `blocks`
-/// // All accesses of one instruction land on one shard, in order.
-/// let total: usize = blocks.iter().map(|(_, b)| b.records.len()).sum();
-/// assert_eq!(total, 8);
-/// assert!(blocks.iter().all(|(_, b)| b.records.len() <= 3));
+/// let mut router = RecordRouter::new(2, 64);
+/// let mut routed: Vec<(usize, BlockItem, Option<u64>)> = Vec::new();
+/// router.route(
+///     &Record::checkpoint(0, minic::CheckpointKind::LoopBegin),
+///     |s, item, seq| routed.push((s, item, seq)),
+/// );
+/// // Checkpoints are logged, not fanned out...
+/// assert!(routed.is_empty());
+/// router.route(
+///     &Record::access(0x400000, 0x1000, AccessKind::Read),
+///     |s, item, seq| routed.push((s, item, seq)),
+/// );
+/// // ...and delivered to a shard just before its next access.
+/// assert_eq!(routed.len(), 2);
+/// assert_eq!(routed[0].2, None); // the LoopBegin context item
+/// assert_eq!(routed[1].2, Some(0)); // the access, with its ordinal
 /// ```
 #[derive(Debug)]
-pub struct BlockRouter<F: FnMut(usize, ShardBuffer)> {
-    pending: Vec<ShardBuffer>,
-    block_records: usize,
+pub struct RecordRouter {
+    cursors: Vec<Cursor>,
+    ctx: CtxLog,
+    prune_entries: usize,
     seq: u64,
     records: u64,
-    buffered: usize,
-    peak_buffered: usize,
-    emit: F,
+    // Last-instruction shard memo: inner loops hammer one instruction, so
+    // the Fibonacci hash is skipped on nearly every access.
+    last_instr: u32,
+    last_shard: usize,
 }
 
-impl<F: FnMut(usize, ShardBuffer)> BlockRouter<F> {
-    /// Creates a router for `shards` consumers emitting blocks of up to
-    /// `block_records` records.
+impl RecordRouter {
+    /// Creates a router for `shards` consumers whose context log is forced
+    /// out to every shard (and pruned) upon reaching `prune_entries`.
     ///
     /// # Panics
     ///
-    /// Panics if `shards` or `block_records` is zero.
-    pub fn new(shards: usize, block_records: usize, emit: F) -> Self {
+    /// Panics if `shards` or `prune_entries` is zero.
+    pub fn new(shards: usize, prune_entries: usize) -> Self {
         assert!(shards > 0, "shard count must be non-zero");
-        assert!(block_records > 0, "block size must be non-zero");
-        BlockRouter {
-            pending: (0..shards).map(|_| fresh_block(block_records)).collect(),
-            block_records,
+        assert!(prune_entries > 0, "context log bound must be non-zero");
+        RecordRouter {
+            cursors: vec![Cursor::default(); shards],
+            ctx: CtxLog::default(),
+            prune_entries,
             seq: 0,
             records: 0,
-            buffered: 0,
-            peak_buffered: 0,
-            emit,
+            last_instr: 0,
+            last_shard: shard_of(InstrAddr(0), shards),
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.pending.len()
+        self.cursors.len()
     }
 
     /// Total accesses routed so far (the ordinal counter).
@@ -192,73 +495,248 @@ impl<F: FnMut(usize, ShardBuffer)> BlockRouter<F> {
         self.seq
     }
 
-    /// Total records routed so far (accesses + broadcast checkpoint
-    /// copies counted once per arrival, not per shard).
+    /// Total records routed so far (each incoming record counted once —
+    /// context compaction means a checkpoint no longer fans out per shard).
     pub fn records(&self) -> u64 {
         self.records
     }
 
-    /// Records currently sitting in not-yet-emitted blocks.
-    pub fn buffered_records(&self) -> usize {
-        self.buffered
+    /// Context-log entries currently held (the router's only buffering).
+    pub fn pending_context(&self) -> usize {
+        self.ctx.pending()
     }
 
-    /// High-water mark of [`Self::buffered_records`] — by construction at
-    /// most `shards x block_records`.
+    /// Routes one access in the common no-pending-context case: when its
+    /// shard's cursor is already caught up on the context log, the access
+    /// routes to `(shard, ordinal)` with nothing to replay, and no
+    /// [`BlockItem`] needs to exist at all. Returns `None` when context
+    /// must be delivered first — callers then fall back to [`Self::route`]
+    /// (which handles every case) for this record.
+    #[inline]
+    pub fn try_route_access(&mut self, a: &Access) -> Option<(usize, u64)> {
+        let shard = if a.instr.0 == self.last_instr {
+            self.last_shard
+        } else {
+            let s = shard_of(a.instr, self.cursors.len());
+            self.last_instr = a.instr.0;
+            self.last_shard = s;
+            s
+        };
+        if self.cursors[shard].seq != self.ctx.next_seq {
+            return None;
+        }
+        self.records += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        Some((shard, seq))
+    }
+
+    /// Routes one record, emitting `(shard, item, access ordinal)` triples.
+    /// Only [`BlockItem::Access`] items carry an ordinal.
+    pub fn route(&mut self, rec: &Record, mut emit: impl FnMut(usize, BlockItem, Option<u64>)) {
+        self.records += 1;
+        match rec {
+            Record::Checkpoint { loop_id, kind } => {
+                self.ctx.push(*loop_id, *kind);
+                if self.ctx.closed.len() >= self.prune_entries {
+                    self.catch_up_all_closed(&mut emit);
+                }
+            }
+            Record::Access(a) => {
+                let shard = if a.instr.0 == self.last_instr {
+                    self.last_shard
+                } else {
+                    let s = shard_of(a.instr, self.cursors.len());
+                    self.last_instr = a.instr.0;
+                    self.last_shard = s;
+                    s
+                };
+                let cursor = &mut self.cursors[shard];
+                if cursor.seq != self.ctx.next_seq {
+                    self.ctx.replay_all(cursor, |item| emit(shard, item, None));
+                }
+                let seq = self.seq;
+                self.seq += 1;
+                emit(shard, BlockItem::Access(*a), Some(seq));
+            }
+        }
+    }
+
+    /// Replays the closed context to every shard and prunes the log (the
+    /// amortized fan-out that bounds the log's memory).
+    fn catch_up_all_closed(&mut self, emit: &mut impl FnMut(usize, BlockItem, Option<u64>)) {
+        for (shard, cursor) in self.cursors.iter_mut().enumerate() {
+            self.ctx.replay_closed(cursor, &mut |item| emit(shard, item, None));
+        }
+        self.ctx.prune_closed();
+    }
+
+    /// Brings every shard fully up to date on the context log and drops it
+    /// (idempotent) — every shard has then seen the complete stream.
+    pub fn finish(&mut self, mut emit: impl FnMut(usize, BlockItem, Option<u64>)) {
+        for (shard, cursor) in self.cursors.iter_mut().enumerate() {
+            if cursor.seq != self.ctx.next_seq {
+                self.ctx.replay_all(cursor, |item| emit(shard, item, None));
+            }
+        }
+        // Every cursor is now fully caught up; sealing the trailing open
+        // run lets the whole log be dropped.
+        self.ctx.close_open();
+        self.ctx.prune_closed();
+    }
+}
+
+/// Routes a record stream into **bounded** per-shard [`ShardBlock`]s,
+/// handing each block to a consumer callback the moment it fills (and
+/// flushing stubs at [`TraceSink::finish`]).
+///
+/// This is the streaming sibling of [`ShardingSink`] with two structural
+/// differences (see the module docs): checkpoints are *encoded once* into a
+/// shared compacted context log instead of being copied K times, and each
+/// shard receives the context it missed lazily — immediately before its
+/// next access, and at the latest when the log hits its pruning bound or
+/// the stream finishes. Expanded back out ([`ShardBlock::expand_into`]),
+/// each shard's block sequence is identical to the [`ShardingSink`] buffer.
+///
+/// Memory is capped: per-shard staging holds under one block, and the
+/// shared context log is pruned to one block's worth of entries — the
+/// consumer (typically a bounded channel to a worker thread, see
+/// `foray::shard::analyze_streaming_with`) bounds everything downstream.
+///
+/// # Examples
+///
+/// ```
+/// use minic_trace::{AccessKind, BlockRouter, Record, ShardBlock, TraceSink};
+///
+/// let mut blocks: Vec<(usize, ShardBlock)> = Vec::new();
+/// let mut router = BlockRouter::new(2, 3, |shard, block| blocks.push((shard, block)));
+/// for i in 0..8 {
+///     router.record(&Record::access(0x400000, 0x1000 + i, AccessKind::Read));
+/// }
+/// router.finish();
+/// drop(router); // releases the borrow on `blocks`
+/// // All accesses of one instruction land on one shard, in order.
+/// let total: usize = blocks.iter().map(|(_, b)| b.items.len()).sum();
+/// assert_eq!(total, 8);
+/// assert!(blocks.iter().all(|(_, b)| b.items.len() <= 3));
+/// ```
+#[derive(Debug)]
+pub struct BlockRouter<F: FnMut(usize, ShardBlock)> {
+    core: RecordRouter,
+    staging: Vec<ShardBlock>,
+    block_records: usize,
+    staged: usize,
+    peak_buffered: usize,
+    emit: F,
+}
+
+impl<F: FnMut(usize, ShardBlock)> BlockRouter<F> {
+    /// Creates a router for `shards` consumers emitting blocks of up to
+    /// `block_records` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `block_records` is zero.
+    pub fn new(shards: usize, block_records: usize, emit: F) -> Self {
+        assert!(block_records > 0, "block size must be non-zero");
+        BlockRouter {
+            core: RecordRouter::new(shards, block_records),
+            staging: (0..shards).map(|_| ShardBlock::with_capacity(block_records)).collect(),
+            block_records,
+            staged: 0,
+            peak_buffered: 0,
+            emit,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Total accesses routed so far (the ordinal counter).
+    pub fn accesses(&self) -> u64 {
+        self.core.accesses()
+    }
+
+    /// Total records routed so far (each incoming record counted once —
+    /// context compaction means a checkpoint no longer fans out per shard).
+    pub fn records(&self) -> u64 {
+        self.core.records()
+    }
+
+    /// Items currently held by the router: staged block items plus pending
+    /// context-log entries.
+    pub fn buffered_records(&self) -> usize {
+        self.staged + self.core.pending_context()
+    }
+
+    /// High-water mark of [`Self::buffered_records`] — bounded by
+    /// `shards + 2` blocks (staging plus the pruned context log).
     pub fn peak_buffered_records(&self) -> usize {
         self.peak_buffered
     }
 
-    #[inline]
-    fn push(&mut self, shard: usize, rec: &Record, seq: Option<u64>) {
-        self.buffered += 1;
-        self.peak_buffered = self.peak_buffered.max(self.buffered);
-        let buf = &mut self.pending[shard];
-        buf.records.push(*rec);
-        if let Some(s) = seq {
-            buf.access_seqs.push(s);
-        }
-        if buf.records.len() >= self.block_records {
-            let full = std::mem::replace(buf, fresh_block(self.block_records));
-            self.buffered -= full.records.len();
-            (self.emit)(shard, full);
+    fn note_peak(&mut self) {
+        let b = self.staged + self.core.pending_context();
+        if b > self.peak_buffered {
+            self.peak_buffered = b;
         }
     }
 }
 
-/// An empty block with its full capacity pre-reserved, so filling it never
-/// reallocates (the routing hot path runs while the VM is executing).
-fn fresh_block(block_records: usize) -> ShardBuffer {
-    ShardBuffer {
-        records: Vec::with_capacity(block_records),
-        access_seqs: Vec::with_capacity(block_records),
+/// Stages one routed item into its shard's block, handing the block off
+/// the moment it fills.
+#[inline]
+fn stage_item(
+    staging: &mut [ShardBlock],
+    staged: &mut usize,
+    block_records: usize,
+    emit: &mut impl FnMut(usize, ShardBlock),
+    shard: usize,
+    item: BlockItem,
+    seq: Option<u64>,
+) {
+    let block = &mut staging[shard];
+    block.items.push(item);
+    if let Some(s) = seq {
+        block.access_seqs.push(s);
+    }
+    *staged += 1;
+    if block.items.len() >= block_records {
+        let full = std::mem::replace(block, ShardBlock::with_capacity(block_records));
+        *staged -= full.items.len();
+        emit(shard, full);
     }
 }
 
-impl<F: FnMut(usize, ShardBuffer)> TraceSink for BlockRouter<F> {
+impl<F: FnMut(usize, ShardBlock)> TraceSink for BlockRouter<F> {
     fn record(&mut self, rec: &Record) {
-        self.records += 1;
-        match rec {
-            Record::Checkpoint { .. } => {
-                for shard in 0..self.pending.len() {
-                    self.push(shard, rec, None);
-                }
-            }
-            Record::Access(a) => {
-                let shard = shard_of(a.instr, self.pending.len());
-                let seq = self.seq;
-                self.seq += 1;
-                self.push(shard, rec, Some(seq));
-            }
-        }
+        let staging = &mut self.staging;
+        let staged = &mut self.staged;
+        let block_records = self.block_records;
+        let emit = &mut self.emit;
+        self.core.route(rec, |shard, item, seq| {
+            stage_item(staging, staged, block_records, emit, shard, item, seq);
+        });
+        self.note_peak();
     }
 
-    /// Flushes every non-empty pending block (idempotent).
+    /// Brings every shard fully up to date on the context log, then
+    /// flushes every non-empty pending block (idempotent).
     fn finish(&mut self) {
-        for shard in 0..self.pending.len() {
-            if !self.pending[shard].records.is_empty() {
-                let stub = std::mem::take(&mut self.pending[shard]);
-                self.buffered -= stub.records.len();
+        let staging = &mut self.staging;
+        let staged = &mut self.staged;
+        let block_records = self.block_records;
+        let emit = &mut self.emit;
+        self.core.finish(|shard, item, seq| {
+            stage_item(staging, staged, block_records, emit, shard, item, seq);
+        });
+        self.note_peak();
+        for shard in 0..self.staging.len() {
+            if !self.staging[shard].items.is_empty() {
+                let stub = std::mem::take(&mut self.staging[shard]);
+                self.staged -= stub.items.len();
                 (self.emit)(shard, stub);
             }
         }
@@ -269,16 +747,64 @@ impl<F: FnMut(usize, ShardBuffer)> TraceSink for BlockRouter<F> {
 mod tests {
     use super::*;
     use crate::record::AccessKind;
-    use minic::CheckpointKind;
+    use minic::CheckpointKind::{BodyBegin as BB, BodyEnd as BE, LoopBegin as LB};
 
     fn sample(n_access: u32) -> Vec<Record> {
-        let mut recs = vec![Record::checkpoint(0, CheckpointKind::LoopBegin)];
+        let mut recs = vec![Record::checkpoint(0, LB)];
         for i in 0..n_access {
-            recs.push(Record::checkpoint(0, CheckpointKind::BodyBegin));
+            recs.push(Record::checkpoint(0, BB));
             recs.push(Record::access(0x40_0000 + 8 * i, 0x1000 + i, AccessKind::Read));
-            recs.push(Record::checkpoint(0, CheckpointKind::BodyEnd));
+            recs.push(Record::checkpoint(0, BE));
         }
         recs
+    }
+
+    /// A nested, multi-loop stream where most iterations carry accesses
+    /// for only one of the shards — the compaction's target shape.
+    fn nested(outer: u32, inner: u32) -> Vec<Record> {
+        let mut recs = vec![Record::checkpoint(0, LB)];
+        for i in 0..outer {
+            recs.push(Record::checkpoint(0, BB));
+            recs.push(Record::checkpoint(1, LB));
+            for j in 0..inner {
+                recs.push(Record::checkpoint(1, BB));
+                if j % 5 == 0 {
+                    recs.push(Record::access(
+                        0x40_0000 + 8 * (i % 3),
+                        0x1000 + j,
+                        AccessKind::Read,
+                    ));
+                }
+                recs.push(Record::checkpoint(1, BE));
+            }
+            recs.push(Record::checkpoint(0, BE));
+        }
+        recs
+    }
+
+    /// Routes `trace` through a [`BlockRouter`] and expands each shard's
+    /// blocks back into a plain [`ShardBuffer`].
+    fn route_and_expand(
+        trace: &[Record],
+        shards: usize,
+        block_records: usize,
+    ) -> (Vec<ShardBuffer>, usize, usize, u64) {
+        let mut expanded = vec![ShardBuffer::default(); shards];
+        let mut max_block = 0usize;
+        let mut items = 0usize;
+        let mut router = BlockRouter::new(shards, block_records, |shard, block| {
+            max_block = max_block.max(block.items.len());
+            items += block.items.len();
+            block.expand_into(&mut expanded[shard]);
+        });
+        for r in trace {
+            router.record(r);
+        }
+        router.finish();
+        let accesses = router.accesses();
+        assert_eq!(router.buffered_records(), 0, "finish flushes everything");
+        drop(router);
+        (expanded, max_block, items, accesses)
     }
 
     #[test]
@@ -343,50 +869,126 @@ mod tests {
         ShardingSink::new(0);
     }
 
-    /// Concatenating a shard's emitted blocks must reproduce exactly what
-    /// the buffering [`ShardingSink`] would have accumulated for it.
+    /// The compaction-correctness lockdown: expanding a shard's emitted
+    /// blocks must reproduce exactly what the broadcasting [`ShardingSink`]
+    /// would have accumulated for it — every checkpoint, in order,
+    /// interleaved with its own ordinal-tagged accesses.
     #[test]
-    fn block_router_blocks_concatenate_to_the_sharding_sink_buffers() {
-        let trace = sample(40);
+    fn expanded_blocks_equal_the_sharding_sink_buffers() {
+        for trace in [sample(40), nested(6, 17), nested(1, 100)] {
+            for shards in [1usize, 2, 3, 5] {
+                let mut buffered = ShardingSink::new(shards);
+                for r in &trace {
+                    buffered.record(r);
+                }
+                for block_records in [1usize, 2, 7, 64, 10_000] {
+                    let (expanded, max_block, _, accesses) =
+                        route_and_expand(&trace, shards, block_records);
+                    assert!(max_block <= block_records);
+                    assert_eq!(accesses, buffered.accesses());
+                    assert_eq!(
+                        expanded,
+                        buffered.shards(),
+                        "shards={shards} block={block_records}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The point of the exercise: on run-heavy streams the routed item
+    /// count must be far below the K-fold checkpoint broadcast.
+    #[test]
+    fn iter_runs_compress_the_routed_volume() {
+        let trace = nested(4, 1000);
+        let shards = 4;
+        let checkpoints = trace.iter().filter(|r| matches!(r, Record::Checkpoint { .. })).count();
+        let accesses = trace.len() - checkpoints;
+        let broadcast_items = shards * checkpoints + accesses;
+        let (_, _, items, _) = route_and_expand(&trace, shards, 4096);
+        assert!(
+            items * 4 < broadcast_items,
+            "compacted routing sent {items} items; broadcast would send {broadcast_items}"
+        );
+    }
+
+    /// An access arriving mid-iteration (after `BodyBegin`, before
+    /// `BodyEnd`) must see its `BodyBegin` delivered, and the matching
+    /// `BodyEnd` must not be lost or duplicated for any shard.
+    #[test]
+    fn half_open_runs_round_trip() {
+        let mut trace = vec![Record::checkpoint(0, LB)];
+        for i in 0..40u32 {
+            trace.push(Record::checkpoint(0, BB));
+            // Alternate which shard (instruction) the body access hits, so
+            // cursors constantly park mid-pair.
+            trace.push(Record::access(0x40_0000 + 4 * (i % 2), 0x2000 + i, AccessKind::Write));
+            trace.push(Record::checkpoint(0, BE));
+        }
+        let shards = 2;
+        let mut buffered = ShardingSink::new(shards);
+        for r in &trace {
+            buffered.record(r);
+        }
+        for block in [1usize, 3, 128] {
+            let (expanded, _, _, _) = route_and_expand(&trace, shards, block);
+            assert_eq!(expanded, buffered.shards(), "block={block}");
+        }
+    }
+
+    /// Checkpoint-only streams exercise the log-pruning fan-out path.
+    #[test]
+    fn incompressible_checkpoint_streams_prune_correctly() {
+        // LoopBegins never pair, so every entry is a Point and the log
+        // prunes every `block_records` checkpoints.
+        let mut trace = Vec::new();
+        for i in 0..100u32 {
+            trace.push(Record::checkpoint(i % 7, LB));
+        }
+        trace.push(Record::access(0x40_0000, 0x1000, AccessKind::Read));
         let shards = 3;
         let mut buffered = ShardingSink::new(shards);
         for r in &trace {
             buffered.record(r);
         }
-        for block_records in [1usize, 2, 7, 64, 10_000] {
-            let mut streamed = vec![ShardBuffer::default(); shards];
-            let mut max_block = 0usize;
-            let mut router = BlockRouter::new(shards, block_records, |shard, block| {
-                max_block = max_block.max(block.records.len());
-                streamed[shard].records.extend_from_slice(&block.records);
-                streamed[shard].access_seqs.extend_from_slice(&block.access_seqs);
-            });
-            for r in &trace {
-                router.record(r);
-            }
-            router.finish();
-            assert_eq!(router.accesses(), 40);
-            assert_eq!(router.records(), trace.len() as u64);
-            assert_eq!(router.buffered_records(), 0, "finish flushes everything");
-            assert!(router.peak_buffered_records() <= shards * block_records);
-            drop(router);
-            assert!(max_block <= block_records);
-            assert_eq!(streamed, buffered.shards(), "block={block_records}");
+        for block in [1usize, 4, 16] {
+            let (expanded, _, _, _) = route_and_expand(&trace, shards, block);
+            assert_eq!(expanded, buffered.shards(), "block={block}");
         }
     }
 
     #[test]
     fn block_router_finish_is_idempotent() {
         let mut emitted = 0usize;
-        let mut router = BlockRouter::new(2, 8, |_, block| emitted += block.records.len());
+        let mut router = BlockRouter::new(2, 8, |_, block| emitted += block.items.len());
         for r in sample(5) {
             router.record(&r);
         }
         router.finish();
         router.finish();
         drop(router);
-        // 5 accesses + 11 checkpoints broadcast to both shards = 5 + 22.
-        assert_eq!(emitted, 5 + 2 * 11);
+        // 5 accesses; 11 checkpoints (LB + 5 BB/BE pairs) reach both
+        // shards as at most 11 items each — compaction may use fewer.
+        assert!(emitted >= 5, "accesses all delivered");
+        assert!(emitted <= 5 + 2 * 11, "no more than the broadcast volume");
+    }
+
+    #[test]
+    fn peak_buffered_stays_within_staging_plus_log() {
+        let trace = nested(8, 64);
+        for (shards, block) in [(1usize, 4usize), (3, 16), (5, 1)] {
+            let mut router = BlockRouter::new(shards, block, |_, _| {});
+            for r in &trace {
+                router.record(r);
+            }
+            router.finish();
+            let bound = (shards + 2) * block + 4;
+            assert!(
+                router.peak_buffered_records() <= bound,
+                "shards={shards} block={block}: peak {} over {bound}",
+                router.peak_buffered_records()
+            );
+        }
     }
 
     #[test]

@@ -80,24 +80,28 @@ fn tiny_blocks_stay_within_the_configured_ceiling() {
     let prog = w.frontend().unwrap();
     let (_, records) = minic_sim::run(&prog, &minic_sim::SimConfig::default(), &w.inputs).unwrap();
     let seq = analyze(&records);
-    let stream = StreamConfig { block_records: 64, channel_blocks: 1 };
-    let config = AnalyzerConfig { shards: 4, stream, ..AnalyzerConfig::default() };
-    let ceiling = stream.max_buffered_records(4);
-    let (streamed, stats) = stream_with_stats(&records, config);
-    assert_eq!(streamed, seq);
-    assert_eq!(stats.max_buffered_records, ceiling);
-    assert!(
-        stats.peak_buffered_records <= ceiling,
-        "peak {} over ceiling {ceiling}",
-        stats.peak_buffered_records
-    );
-    // The bound is what makes this *streaming*: the pipeline held under
-    // 3% of the trace while a buffered analyzer would hold all of it.
-    assert!(
-        ceiling < stats.records / 30,
-        "ceiling {ceiling} is not small next to the {}-record trace",
-        stats.records
-    );
+    // Both schedules — inline (single-context) and threaded hand-off —
+    // must respect the same advertised ceiling.
+    for force_worker_threads in [false, true] {
+        let stream = StreamConfig { block_records: 64, channel_blocks: 1, force_worker_threads };
+        let config = AnalyzerConfig { shards: 4, stream, ..AnalyzerConfig::default() };
+        let ceiling = stream.max_buffered_records(4);
+        let (streamed, stats) = stream_with_stats(&records, config);
+        assert_eq!(streamed, seq);
+        assert_eq!(stats.max_buffered_records, ceiling);
+        assert!(
+            stats.peak_buffered_records <= ceiling,
+            "peak {} over ceiling {ceiling} (force_worker_threads={force_worker_threads})",
+            stats.peak_buffered_records
+        );
+        // The bound is what makes this *streaming*: the pipeline held
+        // under 3% of the trace while a buffered analyzer holds all of it.
+        assert!(
+            ceiling < stats.records / 30,
+            "ceiling {ceiling} is not small next to the {}-record trace",
+            stats.records
+        );
+    }
 }
 
 // ---------- sampling commutes with sharding ----------
@@ -128,6 +132,81 @@ fn arb_sample() -> impl Strategy<Value = SampleSpec> {
         (0u64..24).prop_map(|skip| SampleSpec::Warmup { skip }),
         (1u64..8, any::<u64>()).prop_map(|(size, seed)| SampleSpec::Reservoir { size, seed }),
     ]
+}
+
+// ---------- compacted checkpoints ----------
+
+/// Record streams heavy with checkpoint *runs* — loop iterations carrying
+/// no accesses, the exact shape the router's context log compacts into
+/// `IterRun` deltas — interleaved with bursty multi-site accesses. Drawn
+/// segment-wise so empty-iteration runs actually occur (a uniform
+/// record-by-record generator almost never produces them).
+fn arb_checkpoint_heavy() -> impl Strategy<Value = Vec<Record>> {
+    let segment = prop_oneof![
+        // A run of empty body iterations of one loop.
+        (0u32..6, 1u32..40).prop_map(|(l, runs)| {
+            let mut seg = Vec::with_capacity(2 * runs as usize);
+            for _ in 0..runs {
+                seg.push(Record::checkpoint(l, BodyBegin));
+                seg.push(Record::checkpoint(l, BodyEnd));
+            }
+            seg
+        }),
+        // A loop entry (possibly re-entering the same id: sibling visit).
+        (0u32..6).prop_map(|l| vec![Record::checkpoint(l, LoopBegin)]),
+        // A burst of accesses from a few sites (maps to few shards).
+        proptest::collection::vec(
+            (0u32..10, any::<u32>(), any::<bool>()).prop_map(|(site, a, w)| {
+                Record::access(
+                    0x40_0000 + 4 * site,
+                    a,
+                    if w { AccessKind::Write } else { AccessKind::Read },
+                )
+            }),
+            1..12,
+        ),
+        // A stray unpaired checkpoint, to hit half-open-run sealing.
+        (0u32..6, 0usize..3).prop_map(|(l, k)| {
+            let kind = [LoopBegin, BodyBegin, BodyEnd][k];
+            vec![Record::checkpoint(l, kind)]
+        }),
+    ];
+    proptest::collection::vec(segment, 0..40).prop_map(|segs| segs.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The checkpoint-compaction lock-down: for arbitrary run-heavy
+    /// streams, every worker count and both schedules reconstruct the
+    /// sequential analysis byte-for-byte, and the peak-memory ceiling
+    /// holds even with blocks small enough to split runs across blocks.
+    #[test]
+    fn compacted_checkpoint_streams_match_sequential(
+        records in arb_checkpoint_heavy(),
+        force_worker_threads in any::<bool>(),
+    ) {
+        let seq = analyze(&records);
+        for k in [1usize, 2, 7, 0] {
+            let stream = StreamConfig {
+                block_records: 32,
+                channel_blocks: 1,
+                force_worker_threads,
+            };
+            let config = AnalyzerConfig { shards: k, stream, ..AnalyzerConfig::default() };
+            let (streamed, stats) = stream_with_stats(&records, config);
+            prop_assert_eq!(
+                &streamed, &seq,
+                "K={} force={} diverged from sequential", k, force_worker_threads
+            );
+            prop_assert!(
+                stats.peak_buffered_records <= stats.max_buffered_records,
+                "K={} force={}: peak {} over ceiling {}",
+                k, force_worker_threads,
+                stats.peak_buffered_records, stats.max_buffered_records
+            );
+        }
+    }
 }
 
 proptest! {
